@@ -1,0 +1,332 @@
+package sparker_test
+
+// One benchmark per table/figure of the paper (see the DESIGN.md
+// experiment index E1–E9), plus the design-choice ablations and
+// micro-benchmarks of the hot paths. Regenerate the EXPERIMENTS.md tables
+// with cmd/sparker-bench; these benchmarks time the same code paths under
+// testing.B so that
+//
+//	go test -bench=. -benchmem
+//
+// tracks the cost of every experiment.
+
+import (
+	"sync"
+	"testing"
+
+	"sparker"
+	"sparker/internal/blocking"
+	"sparker/internal/clustering"
+	"sparker/internal/dataflow"
+	"sparker/internal/datagen"
+	"sparker/internal/experiments"
+	"sparker/internal/looseschema"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/tokenize"
+)
+
+var (
+	benchOnce sync.Once
+	benchData *experiments.Dataset
+)
+
+// benchDataset memoises the default SynthAbtBuy benchmark across benches.
+func benchDataset(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		d, err := experiments.LoadSynthAbtBuy(datagen.AbtBuy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchData = d
+	})
+	return benchData
+}
+
+// BenchmarkE1Figure1Toy regenerates Figure 1(c).
+func BenchmarkE1Figure1Toy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		edges := experiments.Figure1Toy()
+		if len(edges) != 6 {
+			b.Fatalf("edges: %d", len(edges))
+		}
+	}
+}
+
+// BenchmarkE2Figure2Toy regenerates Figure 2(c).
+func BenchmarkE2Figure2Toy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		edges := experiments.Figure2Toy()
+		retained := 0
+		for _, e := range edges {
+			if e.Retained {
+				retained++
+			}
+		}
+		if retained != 2 {
+			b.Fatalf("retained: %d", retained)
+		}
+	}
+}
+
+// BenchmarkE3ThresholdSweep regenerates the Figure 6(a,b) sweep.
+func BenchmarkE3ThresholdSweep(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ThresholdSweep(d, []float64{1.0, 0.3})
+		if rows[1].Comparisons >= rows[0].Comparisons {
+			b.Fatal("loose schema did not reduce comparisons")
+		}
+	}
+}
+
+// BenchmarkE4ManualEdit regenerates the Figure 6(c,d) edit.
+func BenchmarkE4ManualEdit(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ManualEdit(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.NewlyLost) == 0 {
+			b.Fatal("split lost nothing")
+		}
+	}
+}
+
+// BenchmarkE5EntropyMetaBlocking regenerates Figure 6(e).
+func BenchmarkE5EntropyMetaBlocking(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.EntropyMetaBlocking(d)
+		if rows[2].Candidates >= rows[0].Candidates {
+			b.Fatal("meta-blocking did not reduce candidates")
+		}
+	}
+}
+
+// BenchmarkE6Scalability sweeps executor counts over the distributed
+// blocker + broadcast meta-blocker.
+func BenchmarkE6Scalability(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	opts := blocking.Options{Clustering: part}
+	for _, executors := range []int{1, 2, 4, 8} {
+		b.Run(benchName("executors", executors), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := dataflow.NewContext(dataflow.WithParallelism(executors))
+				raw, err := blocking.DistributedTokenBlocking(ctx, d.Collection, opts, 2*executors)
+				if err != nil {
+					b.Fatal(err)
+				}
+				filtered := blocking.Filter(blocking.PurgeBySize(raw, 0.5), 0.8)
+				idx := blocking.BuildIndex(filtered)
+				if _, err := metablocking.RunDistributed(ctx, idx, metablocking.Options{
+					Scheme: metablocking.CBS, Pruning: metablocking.BlastPruning, Entropy: part,
+				}, 2*executors); err != nil {
+					b.Fatal(err)
+				}
+				ctx.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkE7BroadcastVsNaive compares the two distributed meta-blocking
+// plans.
+func BenchmarkE7BroadcastVsNaive(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	opts := blocking.Options{Clustering: part}
+	filtered := blocking.Filter(blocking.PurgeBySize(blocking.TokenBlocking(d.Collection, opts), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	mo := metablocking.Options{Scheme: metablocking.CBS, Pruning: metablocking.WEP}
+
+	b.Run("broadcast-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := dataflow.NewContext(dataflow.WithParallelism(4))
+			if _, err := metablocking.RunDistributed(ctx, idx, mo, 8); err != nil {
+				b.Fatal(err)
+			}
+			ctx.Close()
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := dataflow.NewContext(dataflow.WithParallelism(4))
+			if _, err := metablocking.RunNaiveDistributed(ctx, idx, mo, 8); err != nil {
+				b.Fatal(err)
+			}
+			ctx.Close()
+		}
+	})
+}
+
+// BenchmarkE8EndToEnd times the full default pipeline.
+func BenchmarkE8EndToEnd(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EndToEnd(d, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Sampling times the debug-sample construction.
+func BenchmarkE9Sampling(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SamplingExperiment(d, []int{20}, 10)
+		if rows[0].MatchingPairs == 0 {
+			b.Fatal("sample lost all matches")
+		}
+	}
+}
+
+// BenchmarkE10Progressive times the progressive schedulers (full
+// schedule construction).
+func BenchmarkE10Progressive(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	filtered := blocking.Filter(blocking.PurgeBySize(
+		blocking.TokenBlocking(d.Collection, blocking.Options{Clustering: part}), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	mo := metablocking.Options{Scheme: metablocking.ARCS, Entropy: part}
+	for _, s := range []metablocking.ScheduleStrategy{metablocking.GlobalTop, metablocking.ProfileScheduling} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				metablocking.Schedule(idx, mo, s, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkE11Bibliographic times the end-to-end pipeline on the second
+// benchmark family.
+func BenchmarkE11Bibliographic(b *testing.B) {
+	bib, err := experiments.LoadBibliographic(datagen.BibDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EndToEnd(bib, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSchemes times meta-blocking per weight scheme
+// (Blast pruning, entropy on), the DESIGN.md section-5 ablation.
+func BenchmarkAblationSchemes(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	filtered := blocking.Filter(blocking.PurgeBySize(
+		blocking.TokenBlocking(d.Collection, blocking.Options{Clustering: part}), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	for _, s := range []metablocking.Scheme{metablocking.CBS, metablocking.ECBS, metablocking.JS, metablocking.EJS, metablocking.ARCS} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				metablocking.Run(idx, metablocking.Options{Scheme: s, Pruning: metablocking.BlastPruning, Entropy: part})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning times meta-blocking per pruning rule.
+func BenchmarkAblationPruning(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	filtered := blocking.Filter(blocking.PurgeBySize(
+		blocking.TokenBlocking(d.Collection, blocking.Options{Clustering: part}), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	for _, p := range []metablocking.Pruning{metablocking.WEP, metablocking.WNP, metablocking.CNP, metablocking.BlastPruning} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				metablocking.Run(idx, metablocking.Options{Scheme: metablocking.CBS, Pruning: p, Entropy: part})
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkTokenBlocking times sequential block construction.
+func BenchmarkTokenBlocking(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocking.TokenBlocking(d.Collection, blocking.Options{})
+	}
+}
+
+// BenchmarkBlockPurgeFilter times purging + filtering.
+func BenchmarkBlockPurgeFilter(b *testing.B) {
+	d := benchDataset(b)
+	raw := blocking.TokenBlocking(d.Collection, blocking.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocking.Filter(blocking.PurgeBySize(raw, 0.5), 0.8)
+	}
+}
+
+// BenchmarkAttributePartitioning times the LSH loose-schema generator.
+func BenchmarkAttributePartitioning(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	}
+}
+
+// BenchmarkMatching times candidate scoring with Jaccard.
+func BenchmarkMatching(b *testing.B) {
+	d := benchDataset(b)
+	cfg := sparker.DefaultConfig()
+	res, err := sparker.NewPipeline(cfg, nil).RunBlocker(d.Collection)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measure := matching.JaccardMeasure(tokenize.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.MatchPairs(d.Collection, res.Candidates, measure, 0.3)
+	}
+}
+
+// BenchmarkConnectedComponents times the sequential clusterer.
+func BenchmarkConnectedComponents(b *testing.B) {
+	d := benchDataset(b)
+	cfg := sparker.DefaultConfig()
+	pipeline := sparker.NewPipeline(cfg, nil)
+	res, err := pipeline.RunBlocker(d.Collection)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matches, err := pipeline.RunMatcher(d.Collection, res.Candidates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clustering.ConnectedComponents(matches)
+	}
+}
+
+func benchName(prefix string, n int) string {
+	digits := ""
+	if n == 0 {
+		digits = "0"
+	}
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return prefix + "-" + digits
+}

@@ -1,0 +1,244 @@
+// Command sparker-debug is the process-debugging workflow of the paper's
+// Section 3 and Figure 6, as a CLI instead of a GUI. Each subcommand
+// renders one panel of the demo walkthrough on the SynthAbtBuy benchmark:
+//
+//	sparker-debug sweep                # Fig 6(a,b): LSH threshold sweep
+//	sparker-debug edit                 # Fig 6(c,d): manual split + lost-pair drill-down
+//	sparker-debug meta                 # Fig 6(e):   meta-blocking with entropy
+//	sparker-debug sample               # Section 3:  debug-sample representativeness
+//	sparker-debug tune                 # Section 3:  supervised threshold tuning
+//	sparker-debug explain <idA> <idB>  # per-pair decision: shared blocks, weight, thresholds
+//	sparker-debug all                  # every panel above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"sparker/internal/blocking"
+	"sparker/internal/core"
+	"sparker/internal/datagen"
+	"sparker/internal/evaluation"
+	"sparker/internal/experiments"
+	"sparker/internal/looseschema"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+	"sparker/internal/sampling"
+	"sparker/internal/tokenize"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 1, "dataset scale factor")
+		seed  = flag.Int64("seed", 1234, "benchmark generator seed")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+
+	cfg := datagen.AbtBuy().Scaled(*scale)
+	cfg.Seed = *seed
+	d, err := experiments.LoadSynthAbtBuy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset: %s (%d profiles, %d true matches)\n\n",
+		d.Name, d.Collection.Size(), d.GT.Size())
+
+	if cmd == "explain" {
+		if err := explain(d, flag.Arg(1), flag.Arg(2)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	steps := map[string]func(*experiments.Dataset) error{
+		"sweep":  sweep,
+		"edit":   edit,
+		"meta":   meta,
+		"sample": sample,
+		"tune":   tune,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"sweep", "edit", "meta", "sample", "tune"} {
+			if err := steps[name](d); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	step, ok := steps[cmd]
+	if !ok {
+		fatal(fmt.Errorf("unknown subcommand %q (sweep|edit|meta|sample|tune|explain|all)", cmd))
+	}
+	if err := step(d); err != nil {
+		fatal(err)
+	}
+}
+
+// explain reconstructs the blocking and meta-blocking decision for one
+// pair of original IDs (the per-pair debug view of the GUI):
+//
+//	sparker-debug explain abt-0005 buy-0005
+func explain(d *experiments.Dataset, idA, idB string) error {
+	if idA == "" || idB == "" {
+		return fmt.Errorf("usage: sparker-debug explain <originalID-A> <originalID-B>")
+	}
+	var a, b profile.ID = -1, -1
+	for i := range d.Collection.Profiles {
+		p := &d.Collection.Profiles[i]
+		if p.OriginalID == idA {
+			a = p.ID
+		}
+		if p.OriginalID == idB {
+			b = p.ID
+		}
+	}
+	if a < 0 || b < 0 {
+		return fmt.Errorf("unknown original ID (%q resolved=%v, %q resolved=%v)", idA, a >= 0, idB, b >= 0)
+	}
+
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	opts := blocking.Options{Clustering: part}
+	filtered := blocking.Filter(blocking.PurgeBySize(blocking.TokenBlocking(d.Collection, opts), 0.5), blocking.DefaultFilterRatio)
+	idx := blocking.BuildIndex(filtered)
+	mo := metablocking.Options{Scheme: metablocking.CBS, Pruning: metablocking.BlastPruning, Entropy: part}
+	ex := metablocking.Explain(idx, mo, a, b)
+
+	fmt.Printf("pair %s <-> %s (internal %d, %d)\n", idA, idB, ex.A, ex.B)
+	fmt.Printf("ground truth: match=%v\n", d.GT.Contains(blocking.Pair{A: a, B: b}))
+	if len(ex.CommonBlocks) == 0 {
+		fmt.Println("no shared blocks after purging/filtering: the pair cannot be compared")
+		keys := evaluation.SharedKeys(d.Collection, opts, a, b)
+		fmt.Printf("raw shared keys before purging/filtering: %v\n", keys)
+		return nil
+	}
+	w := table()
+	fmt.Fprintln(w, "shared block\tcluster\tentropy\tsize")
+	for _, cb := range ex.CommonBlocks {
+		fmt.Fprintf(w, "%s\tC%d\t%.3f\t%d\n", cb.Key, cb.ClusterID, cb.Entropy, cb.Size)
+	}
+	w.Flush()
+	fmt.Printf("edge weight: %.3f  thresholds: %.3f (A) / %.3f (B)\n", ex.Weight, ex.ThresholdA, ex.ThresholdB)
+	if ex.Retained {
+		fmt.Println("decision: RETAINED as a candidate pair")
+	} else {
+		fmt.Println("decision: PRUNED by meta-blocking")
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparker-debug:", err)
+	os.Exit(1)
+}
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// sweep renders Figure 6(a,b): attribute partitions and blocking quality
+// across LSH thresholds.
+func sweep(d *experiments.Dataset) error {
+	fmt.Println("== Figure 6(a,b): attribute-partitioning threshold sweep ==")
+	rows := experiments.ThresholdSweep(d, []float64{1.0, 0.8, 0.5, 0.3, 0.15})
+	w := table()
+	fmt.Fprintln(w, "threshold\tclusters\tblob\tblocks\tcandidates-in-blocks\trecall\tprecision\tlost")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.2f\t%d\t%d\t%d\t%d\t%.4f\t%.6f\t%d\n",
+			r.Threshold, r.Clusters, r.BlobSize, r.Blocks, r.Comparisons, r.Recall, r.Precision, r.LostPairs)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// edit renders Figure 6(c,d): the manual name/description split and the
+// lost-pair explanations.
+func edit(d *experiments.Dataset) error {
+	fmt.Println("== Figure 6(c,d): manual partition edit + lost-pair debug ==")
+	res, err := experiments.ManualEdit(d)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "partitioning\tclusters\tblocks\tcandidates-in-blocks\trecall\tlost")
+	fmt.Fprintf(w, "automatic (th=0.3)\t%d\t%d\t%d\t%.4f\t%d\n",
+		res.Auto.Clusters, res.Auto.Blocks, res.Auto.Comparisons, res.Auto.Recall, res.Auto.LostPairs)
+	fmt.Fprintf(w, "manual split\t%d\t%d\t%d\t%.4f\t%d\n",
+		res.Edited.Clusters, res.Edited.Blocks, res.Edited.Comparisons, res.Edited.Recall, res.Edited.LostPairs)
+	w.Flush()
+	fmt.Printf("\npairs newly lost by the split: %d\n", len(res.NewlyLost))
+	limit := len(res.NewlyLost)
+	if limit > 5 {
+		limit = 5
+	}
+	for _, lp := range res.NewlyLost[:limit] {
+		fmt.Printf("  %s <-> %s  shared keys before the split: %v\n",
+			lp.AOriginal, lp.BOriginal, lp.SharedKeysBefore)
+	}
+	fmt.Println("  (the shared keys come from name/description tokens: the split severed them)")
+	fmt.Println()
+	return nil
+}
+
+// meta renders Figure 6(e): the entropy meta-blocking comparison.
+func meta(d *experiments.Dataset) error {
+	fmt.Println("== Figure 6(e): meta-blocking with entropy ==")
+	w := table()
+	fmt.Fprintln(w, "configuration\tcandidates\trecall\tprecision")
+	for _, r := range experiments.EntropyMetaBlocking(d) {
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.6f\n", r.Name, r.Candidates, r.Recall, r.Precision)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// sample renders the Section 3 sampling experiment.
+func sample(d *experiments.Dataset) error {
+	fmt.Println("== Section 3: debug-sample representativeness ==")
+	w := table()
+	fmt.Fprintln(w, "K\tk\tsample size\tmatching pairs inside")
+	for _, r := range experiments.SamplingExperiment(d, []int{10, 20, 50}, 10) {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", r.K, r.PerSeed, r.SampleSize, r.MatchingPairs)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// tune runs the supervised mode on a debug sample: label the sample pairs
+// with the ground truth, tune the matcher threshold, and compare with the
+// unsupervised default.
+func tune(d *experiments.Dataset) error {
+	fmt.Println("== Section 3: supervised threshold tuning on a debug sample ==")
+	s := sampling.Build(d.Collection, sampling.Options{K: 30, PerSeed: 10, Seed: 7})
+
+	// Candidates on the sample via the default blocker.
+	pipeline := core.NewPipeline(core.DefaultConfig(), nil)
+	blocker, err := pipeline.RunBlocker(s.Collection)
+	if err != nil {
+		return err
+	}
+	// Label sample candidates using the full ground truth.
+	var labeled []matching.LabeledPair
+	for _, p := range blocker.Candidates {
+		origA := s.OriginalID[p.A]
+		origB := s.OriginalID[p.B]
+		labeled = append(labeled, matching.LabeledPair{
+			Pair:    p,
+			IsMatch: d.GT.Contains(blocking.Pair{A: origA, B: origB}),
+		})
+	}
+	measure := matching.JaccardMeasure(tokenize.Options{})
+	th, f1 := matching.TuneThreshold(s.Collection, labeled, measure)
+	fmt.Printf("sample: %d profiles, %d labelled candidate pairs\n", s.Collection.Size(), len(labeled))
+	fmt.Printf("tuned threshold: %.3f (sample F1 %.3f; unsupervised default 0.3)\n\n", th, f1)
+	return nil
+}

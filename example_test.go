@@ -1,0 +1,115 @@
+package sparker_test
+
+// Executable documentation for the public API (godoc examples).
+
+import (
+	"fmt"
+
+	"sparker"
+)
+
+func exampleCollection() *sparker.Collection {
+	mk := func(id string, kvs ...[2]string) sparker.Profile {
+		p := sparker.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	a := []sparker.Profile{
+		mk("a1", [2]string{"name", "acme turbo widget"}, [2]string{"price", "9.99"}),
+		mk("a2", [2]string{"name", "zenix gadget pro"}, [2]string{"price", "19.99"}),
+	}
+	b := []sparker.Profile{
+		mk("b1", [2]string{"title", "acme turbo widget deluxe"}, [2]string{"cost", "9.99"}),
+		mk("b2", [2]string{"title", "entirely different product"}, [2]string{"cost", "5.00"}),
+	}
+	return sparker.NewCleanClean(a, b)
+}
+
+// ExampleResolve runs the whole pipeline with one call.
+func ExampleResolve() {
+	collection := exampleCollection()
+	cfg := sparker.DefaultConfig()
+	cfg.LooseSchema = false // four profiles: schema-agnostic is plenty
+	cfg.UseEntropy = false
+	cfg.Pruning = sparker.WEP
+
+	result, err := sparker.Resolve(collection, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, e := range result.Entities {
+		fmt.Print("entity:")
+		for _, id := range e.Profiles {
+			fmt.Printf(" %s", collection.Get(id).OriginalID)
+		}
+		fmt.Println()
+	}
+	// Output: entity: a1 b1
+}
+
+// ExampleTokenBlocking shows schema-agnostic block construction.
+func ExampleTokenBlocking() {
+	collection := exampleCollection()
+	blocks := sparker.TokenBlocking(collection, sparker.BlockingOptions{})
+	fmt.Println("blocks:", blocks.NumBlocks())
+	fmt.Println("comparisons:", blocks.TotalComparisons())
+	// Output:
+	// blocks: 5
+	// comparisons: 6
+}
+
+// ExampleRunMetaBlocking prunes the blocking graph.
+func ExampleRunMetaBlocking() {
+	collection := exampleCollection()
+	blocks := sparker.TokenBlocking(collection, sparker.BlockingOptions{})
+	idx := sparker.BuildBlockIndex(blocks)
+	edges := sparker.RunMetaBlocking(idx, sparker.MetaBlockingOptions{
+		Scheme:  sparker.CBS,
+		Pruning: sparker.WEP,
+	})
+	for _, e := range edges {
+		fmt.Printf("%s-%s weight %.0f\n",
+			collection.Get(e.A).OriginalID, collection.Get(e.B).OriginalID, e.Weight)
+	}
+	// Output: a1-b1 weight 5
+}
+
+// ExampleTuneThreshold tunes the matcher on labelled pairs (supervised
+// mode).
+func ExampleTuneThreshold() {
+	collection := exampleCollection()
+	labeled := []sparker.LabeledPair{
+		{Pair: sparker.CandidatePair{A: 0, B: 2}, IsMatch: true},
+		{Pair: sparker.CandidatePair{A: 0, B: 3}, IsMatch: false},
+		{Pair: sparker.CandidatePair{A: 1, B: 3}, IsMatch: false},
+	}
+	_, f1 := sparker.TuneThreshold(collection, labeled, sparker.JaccardMeasure(sparker.TokenizerOptions{}))
+	fmt.Printf("sample F1 %.1f\n", f1)
+	// Output: sample F1 1.0
+}
+
+// ExampleNewSession drives the interactive debugging loop.
+func ExampleNewSession() {
+	ds := sparker.GenerateBenchmark(sparker.AbtBuyConfig())
+	gt, err := sparker.NewGroundTruthFromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	session, err := sparker.NewSession(ds.Collection, sparker.DefaultConfig(), gt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	before := session.Metrics()
+	if err := session.SetSchemaThreshold(1.0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	after := session.Metrics()
+	fmt.Println("loose schema reduces candidates:", before.Candidates < after.Candidates)
+	// Output: loose schema reduces candidates: true
+}

@@ -1,0 +1,101 @@
+// Looseschema: reproduces the paper's running example step by step —
+// Figure 1 (schema-agnostic token blocking and meta-blocking over four
+// bibliographic profiles) and Figure 2 (loose-schema blocking with
+// entropy), driving each blocker stage through the public API.
+package main
+
+import (
+	"fmt"
+
+	"sparker"
+)
+
+// figure2Schema is the loose schema of Figure 2(a): cluster 1 holds the
+// title-like attributes (entropy 0.4), cluster 2 the author attributes
+// (entropy 0.8).
+type figure2Schema struct{}
+
+func (figure2Schema) ClusterOf(_ int, attribute string) int {
+	switch attribute {
+	case "name", "title", "abstract":
+		return 1
+	case "authors", "author":
+		return 2
+	}
+	return 0
+}
+
+func (figure2Schema) EntropyOf(cluster int) float64 {
+	switch cluster {
+	case 1:
+		return 0.4
+	case 2:
+		return 0.8
+	}
+	return 0
+}
+
+func main() {
+	mk := func(id string, kvs ...[2]string) sparker.Profile {
+		p := sparker.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	// The four profiles of Figure 1(a).
+	collection := sparker.NewDirty([]sparker.Profile{
+		mk("p1", [2]string{"name", "Blast"}, [2]string{"authors", "G. Simonini"},
+			[2]string{"abstract", "how to improve meta-blocking"}),
+		mk("p2", [2]string{"name", "SparkER"}, [2]string{"authors", "L. Gagliardelli"},
+			[2]string{"abstract", "Simonini et al proposed blocking"}),
+		mk("p3", [2]string{"title", "Blast: loosely schema blocking"},
+			[2]string{"author", "Giovanni Simonini"}, [2]string{"year", "2016"}),
+		mk("p4", [2]string{"title", "SparkER: parallel Blast"},
+			[2]string{"author", "Luca Gagliardelli"}, [2]string{"year", "2017"}),
+	})
+	name := func(id sparker.ProfileID) string { return collection.Get(id).OriginalID }
+
+	fmt.Println("== Figure 1(b): schema-agnostic token blocking ==")
+	blocks := sparker.TokenBlocking(collection, sparker.BlockingOptions{})
+	for _, b := range blocks.Blocks {
+		fmt.Printf("  %-14s", b.Key)
+		for _, id := range b.A {
+			fmt.Printf(" %s", name(id))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Figure 1(c): meta-blocking (CBS weights, average pruning) ==")
+	idx := sparker.BuildBlockIndex(blocks)
+	edges := sparker.RunMetaBlocking(idx, sparker.MetaBlockingOptions{
+		Scheme: sparker.CBS, Pruning: sparker.WEP,
+	})
+	for _, e := range edges {
+		fmt.Printf("  retained %s-%s (weight %.0f)\n", name(e.A), name(e.B), e.Weight)
+	}
+
+	fmt.Println("\n== Figure 2(b): loose-schema blocking (keys split by cluster) ==")
+	looseOpts := sparker.BlockingOptions{Clustering: figure2Schema{}}
+	looseBlocks := sparker.TokenBlocking(collection, looseOpts)
+	for _, b := range looseBlocks.Blocks {
+		fmt.Printf("  %-16s", b.Key)
+		for _, id := range b.A {
+			fmt.Printf(" %s", name(id))
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (note: simonini split into simonini_1 and simonini_2;")
+	fmt.Println("   the abstract-side occurrence appears only in p2, so it forms no block)")
+
+	fmt.Println("\n== Figure 2(c): entropy-weighted meta-blocking ==")
+	looseIdx := sparker.BuildBlockIndex(looseBlocks)
+	looseEdges := sparker.RunMetaBlocking(looseIdx, sparker.MetaBlockingOptions{
+		Scheme: sparker.CBS, Pruning: sparker.WEP, Entropy: figure2Schema{},
+	})
+	for _, e := range looseEdges {
+		fmt.Printf("  retained %s-%s (weight %.1f)\n", name(e.A), name(e.B), e.Weight)
+	}
+	fmt.Println("  (the wrong matches p1-p2 and p2-p3 retained in Figure 1(c) are now removed:")
+	fmt.Println("   only the two correct pairs survive)")
+}

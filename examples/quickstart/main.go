@@ -1,0 +1,68 @@
+// Quickstart: resolve a small product catalog end to end with the
+// unsupervised default configuration, entirely through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparker"
+)
+
+func main() {
+	// Build two tiny clean sources by hand. In a real application these
+	// would come from sparker.ReadProfilesCSVFile.
+	mk := func(id string, kvs ...[2]string) sparker.Profile {
+		p := sparker.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	abt := []sparker.Profile{
+		mk("a1", [2]string{"name", "Acme TurboBlend 5000 blender"},
+			[2]string{"description", "powerful kitchen blender with turbo mode"},
+			[2]string{"price", "89.99"}),
+		mk("a2", [2]string{"name", "Zenix SoundWave speaker"},
+			[2]string{"description", "portable bluetooth speaker, long battery"},
+			[2]string{"price", "49.99"}),
+		mk("a3", [2]string{"name", "Acme QuietCool fan"},
+			[2]string{"description", "silent desk fan three speeds"},
+			[2]string{"price", "29.99"}),
+	}
+	buy := []sparker.Profile{
+		mk("b1", [2]string{"title", "TurboBlend 5000 by Acme (blender)"},
+			[2]string{"list_price", "89.99"}),
+		mk("b2", [2]string{"title", "Zenix SoundWave portable speaker"},
+			[2]string{"list_price", "47.50"}),
+		mk("b3", [2]string{"title", "Luxor desk lamp"},
+			[2]string{"list_price", "19.99"}),
+	}
+
+	collection := sparker.NewCleanClean(abt, buy)
+
+	cfg := sparker.DefaultConfig()
+	cfg.LooseSchema = false // tiny data: schema-agnostic keys are enough
+	cfg.UseEntropy = false
+	cfg.Pruning = sparker.WEP
+
+	result, err := sparker.Resolve(collection, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("candidate pairs after blocking: %d\n", len(result.Blocker.Candidates))
+	fmt.Printf("matching pairs: %d\n", len(result.Matches))
+	for _, m := range result.Matches {
+		fmt.Printf("  %s <-> %s (score %.2f)\n",
+			collection.Get(m.A).OriginalID, collection.Get(m.B).OriginalID, m.Score)
+	}
+	fmt.Printf("entities:\n")
+	for _, e := range result.Entities {
+		fmt.Printf("  entity %d:", e.ID)
+		for _, id := range e.Profiles {
+			fmt.Printf(" %s", collection.Get(id).OriginalID)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,125 @@
+package blocking
+
+import (
+	"math"
+	"sort"
+
+	"sparker/internal/profile"
+)
+
+// DefaultFilterRatio keeps each profile in the smallest 80% of its blocks,
+// i.e. removes it from the largest 20%, the setting the paper quotes.
+const DefaultFilterRatio = 0.8
+
+// Filter applies Block Filtering [10]: each profile is retained only in
+// the ceil(ratio * k) smallest of the k blocks it appears in (ties broken
+// by key for determinism). Blocks that lose too many profiles to keep
+// producing comparisons are dropped. This raises precision with a
+// negligible effect on recall because a profile's largest blocks are its
+// least distinctive ones.
+func Filter(c *Collection, ratio float64) *Collection {
+	if ratio <= 0 || ratio > 1 {
+		ratio = DefaultFilterRatio
+	}
+
+	// Per-profile list of blocks, to rank by block cardinality.
+	type assignment struct {
+		block int
+		size  int64
+	}
+	perProfile := make(map[profile.ID][]assignment)
+	for i := range c.Blocks {
+		card := c.Blocks[i].Comparisons()
+		for _, id := range c.Blocks[i].A {
+			perProfile[id] = append(perProfile[id], assignment{block: i, size: card})
+		}
+		for _, id := range c.Blocks[i].B {
+			perProfile[id] = append(perProfile[id], assignment{block: i, size: card})
+		}
+	}
+
+	// keep[b][id] true when profile id stays in block b.
+	keep := make([]map[profile.ID]bool, len(c.Blocks))
+	for i := range keep {
+		keep[i] = make(map[profile.ID]bool)
+	}
+	for id, as := range perProfile {
+		sort.Slice(as, func(i, j int) bool {
+			if as[i].size != as[j].size {
+				return as[i].size < as[j].size
+			}
+			return c.Blocks[as[i].block].Key < c.Blocks[as[j].block].Key
+		})
+		limit := int(math.Ceil(ratio * float64(len(as))))
+		if limit < 1 {
+			limit = 1
+		}
+		for _, a := range as[:limit] {
+			keep[a.block][id] = true
+		}
+	}
+
+	out := &Collection{CleanClean: c.CleanClean, NumProfiles: c.NumProfiles}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		var a2, b2 []profile.ID
+		for _, id := range b.A {
+			if keep[i][id] {
+				a2 = append(a2, id)
+			}
+		}
+		for _, id := range b.B {
+			if keep[i][id] {
+				b2 = append(b2, id)
+			}
+		}
+		if len(a2)+len(b2) < 2 {
+			continue
+		}
+		if c.CleanClean && (len(a2) == 0 || len(b2) == 0) {
+			continue
+		}
+		out.Blocks = append(out.Blocks, Block{
+			Key: b.Key, ClusterID: b.ClusterID, CleanClean: b.CleanClean, A: a2, B: b2,
+		})
+	}
+	return out
+}
+
+// Index maps every profile to the blocks it appears in after
+// purging/filtering; it is the data structure the meta-blocking graph is
+// materialised from (and what the parallel algorithm broadcasts).
+type Index struct {
+	// BlocksOf[id] lists block ordinals of c.Blocks, ascending.
+	BlocksOf map[profile.ID][]int32
+	// Blocks is the underlying collection the ordinals refer to.
+	Blocks *Collection
+}
+
+// BuildIndex constructs the profile-to-blocks index.
+func BuildIndex(c *Collection) *Index {
+	idx := &Index{BlocksOf: make(map[profile.ID][]int32), Blocks: c}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, id := range b.A {
+			idx.BlocksOf[id] = append(idx.BlocksOf[id], int32(i))
+		}
+		for _, id := range b.B {
+			idx.BlocksOf[id] = append(idx.BlocksOf[id], int32(i))
+		}
+	}
+	return idx
+}
+
+// NumBlocksOf returns |B_p|, the number of blocks containing the profile.
+func (idx *Index) NumBlocksOf(id profile.ID) int { return len(idx.BlocksOf[id]) }
+
+// ProfileIDs lists every profile that survived into the index, sorted.
+func (idx *Index) ProfileIDs() []profile.ID {
+	out := make([]profile.ID, 0, len(idx.BlocksOf))
+	for id := range idx.BlocksOf {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

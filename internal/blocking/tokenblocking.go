@@ -1,0 +1,167 @@
+package blocking
+
+import (
+	"fmt"
+	"strconv"
+
+	"sparker/internal/dataflow"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+// AttributeClustering supplies loose-schema information to key generation:
+// the cluster ID of a source-qualified attribute. Implementations come
+// from the looseschema package; a nil clustering means schema-agnostic
+// blocking (every token is a key, regardless of attribute).
+type AttributeClustering interface {
+	// ClusterOf returns the cluster ID for an attribute of a source.
+	// Unknown attributes fall into the blob cluster (ID 0 by convention).
+	ClusterOf(sourceID int, attribute string) int
+}
+
+// Options configures token blocking.
+type Options struct {
+	// Tokenizer used on attribute values; zero value uses defaults.
+	Tokenizer tokenize.Options
+	// Clustering enables loose-schema keys "token_clusterID". Nil keys
+	// blocks on raw tokens (schema-agnostic [10]).
+	Clustering AttributeClustering
+	// MinBlockSize drops blocks with fewer profiles (default 2: a block
+	// with one profile yields no comparisons).
+	MinBlockSize int
+}
+
+// KeyFor derives the blocking key of a token appearing in an attribute.
+func (o *Options) KeyFor(sourceID int, attribute, token string) (string, int) {
+	if o.Clustering == nil {
+		return token, NoCluster
+	}
+	cluster := o.Clustering.ClusterOf(sourceID, attribute)
+	return token + "_" + strconv.Itoa(cluster), cluster
+}
+
+// ProfileKeys enumerates the distinct blocking keys of one profile.
+func (o *Options) ProfileKeys(p *profile.Profile) []keyedToken {
+	seen := make(map[string]bool)
+	var out []keyedToken
+	for _, kv := range p.Attributes {
+		for _, tok := range o.Tokenizer.Tokens(kv.Value) {
+			key, cluster := o.KeyFor(p.SourceID, kv.Key, tok)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, keyedToken{key: key, cluster: cluster})
+			}
+		}
+	}
+	return out
+}
+
+type keyedToken struct {
+	key     string
+	cluster int
+}
+
+// TokenBlocking builds the block collection sequentially. For clean-clean
+// tasks, blocks that do not contain profiles from both sources are
+// dropped, since they yield no comparisons.
+func TokenBlocking(c *profile.Collection, opts Options) *Collection {
+	minSize := opts.MinBlockSize
+	if minSize < 2 {
+		minSize = 2
+	}
+	type bucket struct {
+		cluster int
+		a, b    []profile.ID
+	}
+	buckets := make(map[string]*bucket)
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		for _, kt := range opts.ProfileKeys(p) {
+			bk := buckets[kt.key]
+			if bk == nil {
+				bk = &bucket{cluster: kt.cluster}
+				buckets[kt.key] = bk
+			}
+			if c.IsClean() && p.SourceID == 1 {
+				bk.b = append(bk.b, p.ID)
+			} else {
+				bk.a = append(bk.a, p.ID)
+			}
+		}
+	}
+	out := &Collection{CleanClean: c.IsClean(), NumProfiles: c.Size()}
+	for key, bk := range buckets {
+		if len(bk.a)+len(bk.b) < minSize {
+			continue
+		}
+		if c.IsClean() && (len(bk.a) == 0 || len(bk.b) == 0) {
+			continue
+		}
+		out.Blocks = append(out.Blocks, Block{
+			Key:        key,
+			ClusterID:  bk.cluster,
+			CleanClean: c.IsClean(),
+			A:          bk.a,
+			B:          bk.b,
+		})
+	}
+	sortBlocks(out.Blocks)
+	return out
+}
+
+// DistributedTokenBlocking builds the same block collection on the
+// dataflow engine: profiles are distributed, each task emits
+// (key, profileID) pairs, and a groupByKey shuffle assembles the blocks —
+// the algorithm SparkER runs on Spark.
+func DistributedTokenBlocking(ctx *dataflow.Context, c *profile.Collection, opts Options, numPartitions int) (*Collection, error) {
+	minSize := opts.MinBlockSize
+	if minSize < 2 {
+		minSize = 2
+	}
+	clean := c.IsClean()
+
+	profiles := dataflow.Parallelize(ctx, c.Profiles, numPartitions)
+	type assign struct {
+		Cluster int
+		ID      profile.ID
+		Src     int
+	}
+	keyed := dataflow.FlatMap(profiles, func(p profile.Profile) []dataflow.KV[string, assign] {
+		kts := opts.ProfileKeys(&p)
+		out := make([]dataflow.KV[string, assign], 0, len(kts))
+		for _, kt := range kts {
+			out = append(out, dataflow.KV[string, assign]{
+				Key:   kt.key,
+				Value: assign{Cluster: kt.cluster, ID: p.ID, Src: p.SourceID},
+			})
+		}
+		return out
+	})
+	grouped := dataflow.GroupByKey(keyed, numPartitions)
+	blocks := dataflow.FlatMap(grouped, func(kv dataflow.KV[string, []assign]) []Block {
+		var a, b []profile.ID
+		cluster := NoCluster
+		for _, as := range kv.Value {
+			cluster = as.Cluster
+			if clean && as.Src == 1 {
+				b = append(b, as.ID)
+			} else {
+				a = append(a, as.ID)
+			}
+		}
+		if len(a)+len(b) < minSize {
+			return nil
+		}
+		if clean && (len(a) == 0 || len(b) == 0) {
+			return nil
+		}
+		return []Block{{Key: kv.Key, ClusterID: cluster, CleanClean: clean, A: a, B: b}}
+	})
+	collected, err := blocks.Collect()
+	if err != nil {
+		return nil, fmt.Errorf("blocking: distributed token blocking: %w", err)
+	}
+	out := &Collection{Blocks: collected, CleanClean: clean, NumProfiles: c.Size()}
+	sortBlocks(out.Blocks)
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"sparker/internal/looseschema"
+	"sparker/internal/metablocking"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	ds := smallDataset()
+	gt := groundTruth(t, ds)
+	cfg := DefaultConfig()
+	cfg.MetaBlocking = false // start from plain blocking, like the demo
+	s, err := NewSession(ds.Collection, cfg, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionThresholdSweepMatchesFigure6(t *testing.T) {
+	s := newSession(t)
+
+	if err := s.SetSchemaThreshold(1.0); err != nil {
+		t.Fatal(err)
+	}
+	blobOnly := s.Partitioning()
+	for k, attrs := range blobOnly.Clusters {
+		if k != looseschema.BlobCluster && len(attrs) > 0 {
+			t.Fatalf("threshold 1.0 produced cluster %d: %v", k, attrs)
+		}
+	}
+	atOne := s.Metrics()
+
+	if err := s.SetSchemaThreshold(0.3); err != nil {
+		t.Fatal(err)
+	}
+	atLow := s.Metrics()
+	if atLow.Candidates >= atOne.Candidates {
+		t.Fatalf("candidates did not drop: %d vs %d", atLow.Candidates, atOne.Candidates)
+	}
+	if atLow.Recall < atOne.Recall-1e-9 {
+		t.Fatalf("recall dropped: %f vs %f", atLow.Recall, atOne.Recall)
+	}
+}
+
+func TestSessionManualEditAndRollback(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetSchemaThreshold(0.3); err != nil {
+		t.Fatal(err)
+	}
+	lostBefore := len(s.LostPairs(0))
+
+	err := s.EditPartitioning(func(p *looseschema.Partitioning) error {
+		nc := p.NewCluster()
+		if err := p.MoveAttribute("0:description", nc); err != nil {
+			return err
+		}
+		return p.MoveAttribute("1:short_descr", nc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostAfter := s.LostPairs(0)
+	if len(lostAfter) <= lostBefore {
+		t.Fatalf("split must lose pairs: %d vs %d", len(lostAfter), lostBefore)
+	}
+	// Each lost pair carries its shared-key explanation relative to the
+	// *current* (split) options: keys may be empty now, which is exactly
+	// the point — the split severed them.
+	for _, lp := range lostAfter[:3] {
+		if lp.AOriginal == "" || lp.BOriginal == "" {
+			t.Fatalf("missing original IDs: %+v", lp)
+		}
+	}
+
+	// A failing edit must keep the previous state.
+	before := s.Metrics()
+	if err := s.EditPartitioning(func(p *looseschema.Partitioning) error {
+		return p.MoveAttribute("0:nonexistent", 1)
+	}); err == nil {
+		t.Fatal("want error for bad edit")
+	}
+	if got := s.Metrics(); got != before {
+		t.Fatal("failed edit changed session state")
+	}
+}
+
+func TestSessionMetaBlockingToggle(t *testing.T) {
+	s := newSession(t)
+	plain := s.Metrics()
+	if err := s.SetMetaBlocking(true, metablocking.CBS, metablocking.BlastPruning, true); err != nil {
+		t.Fatal(err)
+	}
+	pruned := s.Metrics()
+	if pruned.Candidates >= plain.Candidates {
+		t.Fatalf("meta-blocking did not reduce candidates: %d vs %d",
+			pruned.Candidates, plain.Candidates)
+	}
+	if s.Config().Pruning != metablocking.BlastPruning {
+		t.Fatal("config not updated")
+	}
+}
+
+func TestSessionRunEndToEnd(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetMetaBlocking(true, metablocking.CBS, metablocking.BlastPruning, true); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMatchThreshold(0.3)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 || len(res.Entities) == 0 {
+		t.Fatal("empty pipeline result")
+	}
+}
+
+func TestSessionSchemaAgnosticGuards(t *testing.T) {
+	ds := smallDataset()
+	cfg := SchemaAgnosticConfig()
+	s, err := NewSession(ds.Collection, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSchemaThreshold(0.3); err == nil {
+		t.Fatal("want error: threshold without loose schema")
+	}
+	if err := s.EditPartitioning(func(*looseschema.Partitioning) error { return nil }); err == nil {
+		t.Fatal("want error: edit without partitioning")
+	}
+	// Without a ground truth, metrics degrade gracefully.
+	m := s.Metrics()
+	if m.Candidates == 0 || m.Recall != 0 {
+		t.Fatalf("metrics without gt: %+v", m)
+	}
+	if s.LostPairs(5) != nil {
+		t.Fatal("lost pairs without gt must be nil")
+	}
+}

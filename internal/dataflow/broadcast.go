@@ -1,0 +1,19 @@
+package dataflow
+
+// Broadcast is a read-only variable shipped to every executor once, like
+// Spark broadcast variables. In this in-process engine the "shipping" is a
+// shared pointer, but algorithms must treat the value as immutable, exactly
+// as they would on a cluster; the paper's meta-blocking relies on
+// broadcasting the block index to materialise node neighbourhoods locally.
+type Broadcast[T any] struct {
+	value T
+}
+
+// NewBroadcast registers a broadcast variable on the context.
+func NewBroadcast[T any](ctx *Context, value T) *Broadcast[T] {
+	ctx.metrics.BroadcastsBuilt.Add(1)
+	return &Broadcast[T]{value: value}
+}
+
+// Value returns the broadcast payload. Callers must not mutate it.
+func (b *Broadcast[T]) Value() T { return b.value }

@@ -1,0 +1,184 @@
+package dataflow
+
+import "math"
+
+// Additional Spark-surface operations used by ER workloads beyond the
+// core set in rdd.go / pair.go.
+
+// LeftOuterJoin joins two keyed RDDs keeping every left record; the right
+// side of the pair reports presence explicitly.
+type Optional[T any] struct {
+	Present bool
+	Value   T
+}
+
+// LeftOuterJoin computes the left outer join of two keyed RDDs.
+func LeftOuterJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], numPartitions int) *RDD[KV[K, Pair[V, Optional[W]]]] {
+	cg := CoGroup(a, b, numPartitions)
+	return FlatMap(cg, func(kv KV[K, CoGrouped[V, W]]) []KV[K, Pair[V, Optional[W]]] {
+		var out []KV[K, Pair[V, Optional[W]]]
+		for _, v := range kv.Value.Left {
+			if len(kv.Value.Right) == 0 {
+				out = append(out, KV[K, Pair[V, Optional[W]]]{
+					Key: kv.Key, Value: Pair[V, Optional[W]]{A: v},
+				})
+				continue
+			}
+			for _, w := range kv.Value.Right {
+				out = append(out, KV[K, Pair[V, Optional[W]]]{
+					Key: kv.Key, Value: Pair[V, Optional[W]]{A: v, B: Optional[W]{Present: true, Value: w}},
+				})
+			}
+		}
+		return out
+	})
+}
+
+// Cartesian computes the cross product of two RDDs. The left operand is
+// materialised and broadcast, so keep it the smaller side — exactly the
+// discipline Spark programmers apply.
+func Cartesian[A, B any](a *RDD[A], b *RDD[B]) (*RDD[Pair[A, B]], error) {
+	left, err := a.Collect()
+	if err != nil {
+		return nil, err
+	}
+	bl := NewBroadcast(a.ctx, left)
+	return FlatMap(b, func(x B) []Pair[A, B] {
+		ls := bl.Value()
+		out := make([]Pair[A, B], len(ls))
+		for i, l := range ls {
+			out[i] = Pair[A, B]{A: l, B: x}
+		}
+		return out
+	}), nil
+}
+
+// ZipWithIndex pairs every element with its global ordinal (partition
+// order), like Spark's zipWithIndex. It materialises partition sizes
+// first, which costs one extra pass.
+func ZipWithIndex[T any](r *RDD[T]) *RDD[KV[int64, T]] {
+	// Partition sizes are computed lazily at prepare time so lineage stays
+	// intact.
+	type state struct {
+		offsets []int64
+		err     error
+		done    bool
+	}
+	st := &state{}
+	prepare := func() error {
+		if err := r.prepare(); err != nil {
+			return err
+		}
+		if st.done {
+			return st.err
+		}
+		st.done = true
+		sizes := make([]int64, r.parts)
+		err := r.ctx.runStage(r.parts, func(tc *TaskContext) error {
+			data, err := r.partition(tc.Partition, tc)
+			if err != nil {
+				return err
+			}
+			sizes[tc.Partition] = int64(len(data))
+			return nil
+		})
+		if err != nil {
+			st.err = err
+			return err
+		}
+		st.offsets = make([]int64, r.parts)
+		var total int64
+		for i, n := range sizes {
+			st.offsets[i] = total
+			total += n
+		}
+		return nil
+	}
+	return newRDD(r.ctx, r.name+".zipWithIndex", r.parts, prepare, func(p int, tc *TaskContext) ([]KV[int64, T], error) {
+		if st.err != nil {
+			return nil, st.err
+		}
+		data, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]KV[int64, T], len(data))
+		for i, v := range data {
+			out[i] = KV[int64, T]{Key: st.offsets[p] + int64(i), Value: v}
+		}
+		return out, nil
+	})
+}
+
+// Fold aggregates with a zero value and a single combining function.
+// Exactly like Spark's fold, the zero value is applied once per partition
+// and once more when merging the partials, so it must be the identity of
+// combine (0 for addition, 1 for multiplication) or the result is
+// inflated.
+func Fold[T any](r *RDD[T], zero T, combine func(T, T) T) (T, error) {
+	return Aggregate(r,
+		func() T { return zero },
+		combine,
+		combine)
+}
+
+// MaxBy returns the element maximising key; errors on an empty RDD.
+func MaxBy[T any](r *RDD[T], less func(a, b T) bool) (T, error) {
+	return Reduce(r, func(a, b T) T {
+		if less(a, b) {
+			return b
+		}
+		return a
+	})
+}
+
+// CountApproxDistinct estimates the number of distinct elements with a
+// simple fixed-width linear counting over hashed values. It exists so
+// profile-scale statistics (distinct token counts) do not need a full
+// shuffle; the estimate is within a few percent for cardinalities well
+// below the register count.
+func CountApproxDistinct[T comparable](r *RDD[T], registers int) (int64, error) {
+	if registers < 1024 {
+		registers = 1024
+	}
+	type bitmapT = []uint64
+	words := (registers + 63) / 64
+	agg, err := Aggregate(r,
+		func() bitmapT { return make(bitmapT, words) },
+		func(bm bitmapT, v T) bitmapT {
+			h := hashKey(v, registers)
+			bm[h/64] |= 1 << (h % 64)
+			return bm
+		},
+		func(a, b bitmapT) bitmapT {
+			for i := range a {
+				a[i] |= b[i]
+			}
+			return a
+		})
+	if err != nil {
+		return 0, err
+	}
+	ones := 0
+	for _, w := range agg {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	if ones >= registers {
+		ones = registers - 1
+	}
+	// Linear counting estimator: n ≈ -m * ln(1 - ones/m).
+	m := float64(registers)
+	frac := 1 - float64(ones)/m
+	est := -m * ln(frac)
+	return int64(est + 0.5), nil
+}
+
+// ln guards math.Log against the all-registers-set edge case.
+func ln(x float64) float64 {
+	if x <= 0 {
+		return -1e308
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestLeftOuterJoin(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	left := Parallelize(ctx, []KV[int, string]{{1, "a"}, {2, "b"}, {3, "c"}}, 2)
+	right := Parallelize(ctx, []KV[int, int]{{2, 20}, {2, 21}}, 1)
+	joined, err := LeftOuterJoin(left, right, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		k       int
+		v       string
+		present bool
+		w       int
+	}
+	var rows []row
+	for _, kv := range joined {
+		rows = append(rows, row{kv.Key, kv.Value.A, kv.Value.B.Present, kv.Value.B.Value})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].k != rows[j].k {
+			return rows[i].k < rows[j].k
+		}
+		return rows[i].w < rows[j].w
+	})
+	want := []row{
+		{1, "a", false, 0},
+		{2, "b", true, 20},
+		{2, "b", true, 21},
+		{3, "c", false, 0},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestCartesian(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	a := Parallelize(ctx, []int{1, 2}, 1)
+	b := Parallelize(ctx, []string{"x", "y", "z"}, 2)
+	cross, err := Cartesian(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cross.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("pairs: %d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		seen[fmt.Sprintf("%d%s", p.A, p.B)] = true
+	}
+	for _, want := range []string{"1x", "1y", "1z", "2x", "2y", "2z"} {
+		if !seen[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestZipWithIndex(t *testing.T) {
+	ctx := newTestContext(t, 3)
+	r := Parallelize(ctx, []string{"a", "b", "c", "d", "e"}, 3)
+	got, err := ZipWithIndex(r).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("elements: %d", len(got))
+	}
+	for i, kv := range got {
+		if kv.Key != int64(i) {
+			t.Fatalf("index %d has ordinal %d", i, kv.Key)
+		}
+	}
+	if got[0].Value != "a" || got[4].Value != "e" {
+		t.Fatalf("values reordered: %v", got)
+	}
+}
+
+func TestZipWithIndexEmpty(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	got, err := ZipWithIndex(Empty[int](ctx)).Collect()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestFold(t *testing.T) {
+	ctx := newTestContext(t, 4)
+	r := Parallelize(ctx, intsUpTo(10), 3)
+	sum, err := Fold(r, 0, func(a, b int) int { return a + b })
+	if err != nil || sum != 45 {
+		t.Fatalf("sum=%d err=%v", sum, err)
+	}
+	// Spark semantics: the zero value is applied per partition plus once
+	// at the merge, so a non-identity zero inflates the result — Empty has
+	// one partition, hence 7 (partition) + 7 (merge) = 14.
+	empty, err := Fold(Empty[int](ctx), 7, func(a, b int) int { return a + b })
+	if err != nil || empty != 14 {
+		t.Fatalf("empty fold=%d err=%v", empty, err)
+	}
+}
+
+func TestMaxBy(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	r := Parallelize(ctx, []int{3, 9, 1, 7}, 2)
+	got, err := MaxBy(r, func(a, b int) bool { return a < b })
+	if err != nil || got != 9 {
+		t.Fatalf("max=%d err=%v", got, err)
+	}
+}
+
+func TestCountApproxDistinct(t *testing.T) {
+	ctx := newTestContext(t, 4)
+	var data []string
+	for i := 0; i < 5000; i++ {
+		data = append(data, fmt.Sprintf("tok-%d", i%500)) // 500 distinct
+	}
+	r := Parallelize(ctx, data, 8)
+	est, err := CountApproxDistinct(r, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(est)-500) > 50 {
+		t.Fatalf("estimate %d for 500 distinct", est)
+	}
+	exact, err := Distinct(r, 4).Count()
+	if err != nil || exact != 500 {
+		t.Fatalf("exact=%d err=%v", exact, err)
+	}
+}
+
+func TestCountApproxDistinctSaturated(t *testing.T) {
+	// More distinct values than registers must not panic or return junk
+	// below the register count's floor.
+	ctx := newTestContext(t, 2)
+	var data []int
+	for i := 0; i < 5000; i++ {
+		data = append(data, i)
+	}
+	r := Parallelize(ctx, data, 4)
+	est, err := CountApproxDistinct(r, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1024 {
+		t.Fatalf("saturated estimate %d below register count", est)
+	}
+}

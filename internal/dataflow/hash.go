@@ -1,0 +1,48 @@
+package dataflow
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+var hashSeed = maphash.MakeSeed()
+
+// hashKey maps an arbitrary comparable key to a bucket in [0, buckets).
+// Common key types are hashed directly; everything else goes through its
+// fmt representation, which is slow but correct.
+func hashKey(key any, buckets int) int {
+	if buckets <= 1 {
+		return 0
+	}
+	var h uint64
+	switch k := key.(type) {
+	case string:
+		h = maphash.String(hashSeed, k)
+	case int:
+		h = mixUint64(uint64(k))
+	case int32:
+		h = mixUint64(uint64(uint32(k)))
+	case int64:
+		h = mixUint64(uint64(k))
+	case uint32:
+		h = mixUint64(uint64(k))
+	case uint64:
+		h = mixUint64(k)
+	case [2]int32:
+		h = mixUint64(uint64(uint32(k[0]))<<32 | uint64(uint32(k[1])))
+	default:
+		h = maphash.String(hashSeed, fmt.Sprintf("%v", key))
+	}
+	return int(h % uint64(buckets))
+}
+
+// mixUint64 is the SplitMix64 finaliser: a cheap, well-distributed integer
+// hash so that sequential IDs spread across partitions.
+func mixUint64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,412 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// RDD is a lazy, partitioned dataset. Transformations build lineage;
+// nothing executes until an action runs. An RDD is safe for concurrent
+// actions once constructed.
+type RDD[T any] struct {
+	ctx   *Context
+	name  string
+	parts int
+	// compute produces partition p. Narrow transformations call their
+	// parent's compute in the same task (pipelining); shuffle RDDs return
+	// pre-materialised buckets.
+	compute func(p int, tc *TaskContext) ([]T, error)
+	// prepare runs on the driver before any task of a dependent stage and
+	// materialises upstream shuffle outputs (the stage barrier).
+	prepare func() error
+
+	cacheMu   sync.Mutex
+	cacheOn   bool
+	cache     [][]T
+	cacheOnce []sync.Once
+	cacheErr  []error
+}
+
+// Context returns the cluster context the RDD is bound to.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions reports the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// Name returns the debug name of the RDD.
+func (r *RDD[T]) Name() string { return r.name }
+
+// Persist enables caching: each partition is computed at most once and
+// reused by later jobs, like Spark's MEMORY_ONLY persistence.
+func (r *RDD[T]) Persist() *RDD[T] {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if !r.cacheOn {
+		r.cacheOn = true
+		r.cache = make([][]T, r.parts)
+		r.cacheOnce = make([]sync.Once, r.parts)
+		r.cacheErr = make([]error, r.parts)
+	}
+	return r
+}
+
+// partition evaluates partition p honouring the cache.
+func (r *RDD[T]) partition(p int, tc *TaskContext) ([]T, error) {
+	r.cacheMu.Lock()
+	cacheOn := r.cacheOn
+	r.cacheMu.Unlock()
+	if !cacheOn {
+		return r.compute(p, tc)
+	}
+	r.cacheOnce[p].Do(func() {
+		r.cache[p], r.cacheErr[p] = r.compute(p, tc)
+	})
+	return r.cache[p], r.cacheErr[p]
+}
+
+func newRDD[T any](ctx *Context, name string, parts int, prepare func() error,
+	compute func(p int, tc *TaskContext) ([]T, error)) *RDD[T] {
+	if prepare == nil {
+		prepare = func() error { return nil }
+	}
+	return &RDD[T]{ctx: ctx, name: name, parts: parts, prepare: prepare, compute: compute}
+}
+
+// Parallelize distributes data across numPartitions partitions. A
+// non-positive numPartitions uses the context default. Elements keep their
+// order within and across partitions.
+func Parallelize[T any](ctx *Context, data []T, numPartitions int) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = ctx.DefaultPartitions()
+	}
+	n := len(data)
+	if numPartitions > n && n > 0 {
+		numPartitions = n
+	}
+	if n == 0 {
+		numPartitions = 1
+	}
+	return newRDD(ctx, "parallelize", numPartitions, nil, func(p int, _ *TaskContext) ([]T, error) {
+		lo := p * n / numPartitions
+		hi := (p + 1) * n / numPartitions
+		return data[lo:hi], nil
+	})
+}
+
+// Empty returns an RDD with no elements and a single empty partition.
+func Empty[T any](ctx *Context) *RDD[T] {
+	return newRDD(ctx, "empty", 1, nil, func(int, *TaskContext) ([]T, error) { return nil, nil })
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".map", r.parts, r.prepare, func(p int, tc *TaskContext) ([]U, error) {
+		in, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		r.ctx.metrics.RecordsProcessed.Add(int64(len(in)))
+		return out, nil
+	})
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".flatMap", r.parts, r.prepare, func(p int, tc *TaskContext) ([]U, error) {
+		in, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		r.ctx.metrics.RecordsProcessed.Add(int64(len(in)))
+		return out, nil
+	})
+}
+
+// Filter keeps the elements for which pred returns true.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return newRDD(r.ctx, r.name+".filter", r.parts, r.prepare, func(p int, tc *TaskContext) ([]T, error) {
+		in, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		r.ctx.metrics.RecordsProcessed.Add(int64(len(in)))
+		return out, nil
+	})
+}
+
+// MapPartitions applies f to each whole partition. The input slice must be
+// treated as read-only.
+func MapPartitions[T, U any](r *RDD[T], f func([]T) ([]U, error)) *RDD[U] {
+	return MapPartitionsWithIndex(r, func(_ int, in []T) ([]U, error) { return f(in) })
+}
+
+// MapPartitionsWithIndex applies f to each whole partition along with its
+// partition index.
+func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(int, []T) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.name+".mapPartitions", r.parts, r.prepare, func(p int, tc *TaskContext) ([]U, error) {
+		in, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		r.ctx.metrics.RecordsProcessed.Add(int64(len(in)))
+		return f(p, in)
+	})
+}
+
+// Union concatenates two RDDs (no deduplication), preserving partitioning.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("dataflow: Union across different contexts")
+	}
+	prepare := func() error {
+		if err := a.prepare(); err != nil {
+			return err
+		}
+		return b.prepare()
+	}
+	parts := a.parts + b.parts
+	return newRDD(a.ctx, "union", parts, prepare, func(p int, tc *TaskContext) ([]T, error) {
+		if p < a.parts {
+			return a.partition(p, tc)
+		}
+		return b.partition(p-a.parts, tc)
+	})
+}
+
+// Sample keeps each element independently with probability fraction, using
+// a deterministic per-partition stream derived from seed.
+func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
+	return newRDD(r.ctx, r.name+".sample", r.parts, r.prepare, func(p int, tc *TaskContext) ([]T, error) {
+		in, err := r.partition(p, tc)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(p)*1_000_003))
+		var out []T
+		for _, v := range in {
+			if rng.Float64() < fraction {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// collectPartitions materialises every partition of r, running one task per
+// partition on the executor pool. It is the engine behind actions and
+// shuffle stages.
+func collectPartitions[T any](r *RDD[T]) ([][]T, error) {
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
+	out := make([][]T, r.parts)
+	err := r.ctx.runStage(r.parts, func(tc *TaskContext) error {
+		data, err := r.partition(tc.Partition, tc)
+		if err != nil {
+			return err
+		}
+		out[tc.Partition] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Collect gathers all elements on the driver in partition order.
+func (r *RDD[T]) Collect() ([]T, error) {
+	r.ctx.metrics.JobsRun.Add(1)
+	parts, err := collectPartitions(r)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() (int64, error) {
+	r.ctx.metrics.JobsRun.Add(1)
+	if err := r.prepare(); err != nil {
+		return 0, err
+	}
+	counts := make([]int64, r.parts)
+	err := r.ctx.runStage(r.parts, func(tc *TaskContext) error {
+		data, err := r.partition(tc.Partition, tc)
+		if err != nil {
+			return err
+		}
+		counts[tc.Partition] = int64(len(data))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Take returns up to n elements from the first partitions.
+func (r *RDD[T]) Take(n int) ([]T, error) {
+	all, err := r.Collect() // small-data simulator: no incremental scan needed
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// First returns the first element or an error if the RDD is empty.
+func (r *RDD[T]) First() (T, error) {
+	var zero T
+	got, err := r.Take(1)
+	if err != nil {
+		return zero, err
+	}
+	if len(got) == 0 {
+		return zero, fmt.Errorf("dataflow: First on empty RDD")
+	}
+	return got[0], nil
+}
+
+// ForEach applies f to every element on the driver, in partition order.
+func (r *RDD[T]) ForEach(f func(T)) error {
+	all, err := r.Collect()
+	if err != nil {
+		return err
+	}
+	for _, v := range all {
+		f(v)
+	}
+	return nil
+}
+
+// Reduce combines all elements with an associative, commutative f.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
+	var zero T
+	r.ctx.metrics.JobsRun.Add(1)
+	if err := r.prepare(); err != nil {
+		return zero, err
+	}
+	partial := make([]T, r.parts)
+	nonEmpty := make([]bool, r.parts)
+	err := r.ctx.runStage(r.parts, func(tc *TaskContext) error {
+		data, err := r.partition(tc.Partition, tc)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return nil
+		}
+		acc := data[0]
+		for _, v := range data[1:] {
+			acc = f(acc, v)
+		}
+		partial[tc.Partition] = acc
+		nonEmpty[tc.Partition] = true
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	var acc T
+	seeded := false
+	for p, ok := range nonEmpty {
+		if !ok {
+			continue
+		}
+		if !seeded {
+			acc, seeded = partial[p], true
+		} else {
+			acc = f(acc, partial[p])
+		}
+	}
+	if !seeded {
+		return zero, fmt.Errorf("dataflow: Reduce on empty RDD")
+	}
+	return acc, nil
+}
+
+// Aggregate folds every element into a per-partition accumulator with seq
+// and merges the partials with comb.
+func Aggregate[T, A any](r *RDD[T], zero func() A, seq func(A, T) A, comb func(A, A) A) (A, error) {
+	var zeroA A
+	r.ctx.metrics.JobsRun.Add(1)
+	if err := r.prepare(); err != nil {
+		return zeroA, err
+	}
+	partial := make([]A, r.parts)
+	err := r.ctx.runStage(r.parts, func(tc *TaskContext) error {
+		data, err := r.partition(tc.Partition, tc)
+		if err != nil {
+			return err
+		}
+		acc := zero()
+		for _, v := range data {
+			acc = seq(acc, v)
+		}
+		partial[tc.Partition] = acc
+		return nil
+	})
+	if err != nil {
+		return zeroA, err
+	}
+	acc := zero()
+	for _, p := range partial {
+		acc = comb(acc, p)
+	}
+	return acc, nil
+}
+
+// Coalesce reduces the partition count without a shuffle by concatenating
+// adjacent partitions.
+func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	if numPartitions >= r.parts {
+		return r
+	}
+	old := r.parts
+	return newRDD(r.ctx, r.name+".coalesce", numPartitions, r.prepare, func(p int, tc *TaskContext) ([]T, error) {
+		lo := p * old / numPartitions
+		hi := (p + 1) * old / numPartitions
+		var out []T
+		for q := lo; q < hi; q++ {
+			data, err := r.partition(q, tc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, data...)
+		}
+		return out, nil
+	})
+}

@@ -1,0 +1,103 @@
+package dataflow
+
+import (
+	"cmp"
+	"sort"
+	"sync"
+)
+
+// SortBy globally sorts an RDD by a derived key using range partitioning:
+// the driver samples keys to pick partition boundaries, records are
+// scattered into key ranges, and each partition sorts locally in parallel.
+// The result has numPartitions partitions in ascending key order.
+func SortBy[T any, O cmp.Ordered](r *RDD[T], key func(T) O, numPartitions int) *RDD[T] {
+	if numPartitions < 1 {
+		numPartitions = r.ctx.DefaultPartitions()
+	}
+	type state struct {
+		once    sync.Once
+		runFn   func()
+		buckets [][]T
+		err     error
+	}
+	st := &state{}
+	st.runFn = func() {
+		parts, err := collectPartitions(r)
+		if err != nil {
+			st.err = err
+			return
+		}
+		var all []T
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+		if len(all) == 0 {
+			st.buckets = make([][]T, 1)
+			return
+		}
+		// Sample up to 1024 keys for boundaries.
+		sampleStride := len(all)/1024 + 1
+		var sample []O
+		for i := 0; i < len(all); i += sampleStride {
+			sample = append(sample, key(all[i]))
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		nb := numPartitions
+		if nb > len(sample) {
+			nb = len(sample)
+		}
+		bounds := make([]O, 0, nb-1)
+		for i := 1; i < nb; i++ {
+			bounds = append(bounds, sample[i*len(sample)/nb])
+		}
+		buckets := make([][]T, len(bounds)+1)
+		for _, v := range all {
+			k := key(v)
+			b := sort.Search(len(bounds), func(i int) bool { return k < bounds[i] })
+			buckets[b] = append(buckets[b], v)
+		}
+		r.ctx.metrics.ShuffleRecords.Add(int64(len(all)))
+		st.buckets = buckets
+	}
+	materialise := func() error {
+		st.once.Do(st.runFn)
+		return st.err
+	}
+	prepare := func() error {
+		if err := r.prepare(); err != nil {
+			return err
+		}
+		return materialise()
+	}
+	// Partition count is only known after materialisation; we fix it to the
+	// requested count and map empty tails to empty slices.
+	return newRDD(r.ctx, r.name+".sortBy", numPartitions, prepare, func(p int, _ *TaskContext) ([]T, error) {
+		if err := materialise(); err != nil {
+			return nil, err
+		}
+		if p >= len(st.buckets) {
+			return nil, nil
+		}
+		out := make([]T, len(st.buckets[p]))
+		copy(out, st.buckets[p])
+		sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+		return out, nil
+	})
+}
+
+// Top returns the n largest elements by key, descending.
+func Top[T any, O cmp.Ordered](r *RDD[T], n int, key func(T) O) ([]T, error) {
+	partials, err := collectPartitions(Map(r, func(v T) T { return v }))
+	if err != nil {
+		return nil, err
+	}
+	var all []T
+	for _, p := range partials {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool { return key(all[i]) > key(all[j]) })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}

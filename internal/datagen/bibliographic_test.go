@@ -1,0 +1,80 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/evaluation"
+	"sparker/internal/looseschema"
+)
+
+func TestBibliographicSizes(t *testing.T) {
+	cfg := BibDefault()
+	ds := GenerateBibliographic(cfg)
+	c := ds.Collection
+	if int(c.Separator) != cfg.CorePapers+cfg.AOnly {
+		t.Fatalf("|A|=%d", c.Separator)
+	}
+	if c.Size()-int(c.Separator) != cfg.CorePapers+cfg.BOnly {
+		t.Fatalf("|B|=%d", c.Size()-int(c.Separator))
+	}
+	if len(ds.GroundTruth) != cfg.CorePapers {
+		t.Fatalf("|GT|=%d", len(ds.GroundTruth))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBibliographicDeterministic(t *testing.T) {
+	a := GenerateBibliographic(BibDefault())
+	b := GenerateBibliographic(BibDefault())
+	if !reflect.DeepEqual(a.Collection.Profiles, b.Collection.Profiles) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestBibliographicGroundTruthResolvable(t *testing.T) {
+	ds := GenerateBibliographic(BibDefault())
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() != len(ds.GroundTruth) {
+		t.Fatalf("resolved %d of %d", gt.Size(), len(ds.GroundTruth))
+	}
+}
+
+func TestBibliographicBlockingRecall(t *testing.T) {
+	ds := GenerateBibliographic(BibDefault())
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := blocking.TokenBlocking(ds.Collection, blocking.Options{})
+	m := evaluation.EvaluatePairs(blocks.DistinctPairs(), gt, ds.Collection.MaxComparisons())
+	if m.Recall < 0.99 {
+		t.Fatalf("recall %f: citations must share tokens with their papers", m.Recall)
+	}
+}
+
+// TestBibliographicPartitioning checks the structurally interesting
+// property of this family: B's single free-text citation attribute must
+// cluster with A's text attributes (title/authors), not with the years.
+func TestBibliographicPartitioning(t *testing.T) {
+	ds := GenerateBibliographic(BibDefault())
+	p := looseschema.Partition(ds.Collection, looseschema.Options{Threshold: 0.2})
+	citation := p.ClusterOf(1, "citation")
+	if citation == looseschema.BlobCluster {
+		t.Fatalf("citation not clustered: %s", p)
+	}
+	sameAsTitle := p.ClusterOf(0, "title") == citation
+	sameAsAuthors := p.ClusterOf(0, "authors") == citation
+	if !sameAsTitle && !sameAsAuthors {
+		t.Fatalf("citation clustered away from all A text attributes: %s", p)
+	}
+	if p.ClusterOf(0, "year") == citation {
+		t.Fatalf("years merged into the citation cluster: %s", p)
+	}
+}

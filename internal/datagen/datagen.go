@@ -1,0 +1,398 @@
+// Package datagen generates the synthetic product-matching benchmark
+// ("SynthAbtBuy") that stands in for the Abt-Buy dataset of the paper's
+// demo, which we cannot redistribute. The generator reproduces the
+// statistical relationships the Figure 6 walkthrough depends on:
+//
+//   - two sources with differently named schemas (name/description/price
+//     vs title/short_descr/list_price) whose text attributes share
+//     vocabulary, so LSH partitioning at threshold 0.3 yields exactly two
+//     clusters (text, price) while threshold 1.0 leaves everything in the
+//     blob;
+//   - a configurable fraction of "cross-only" matches discoverable only
+//     through tokens shared between the *name* of one source and the
+//     *description* of the other, so manually splitting names from
+//     descriptions loses them (Figure 6(c,d));
+//   - a small, skewed price vocabulary (low entropy) against a large,
+//     flat text vocabulary (high entropy), so Blast's entropy weighting
+//     demotes price-only co-occurrences and shrinks the candidate set
+//     without hurting recall (Figure 6(e)).
+//
+// All output is deterministic in the seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sparker/internal/profile"
+)
+
+// Config sizes and shapes the generated benchmark.
+type Config struct {
+	// CoreEntities are rendered once in each source (the true matches).
+	CoreEntities int
+	// AOnly and BOnly are unmatched padding profiles per source.
+	AOnly, BOnly int
+	// BDup entities get a second rendering in source B, producing
+	// one-to-many matches like the original Abt-Buy ground truth.
+	BDup int
+	// CrossOnlyRate is the fraction of core entities whose B rendering
+	// shares tokens with A only across name↔description (see package doc).
+	CrossOnlyRate float64
+	// TypoRate is the per-token probability of a character swap in B.
+	TypoRate float64
+	// DropRate is the per-token probability of omission in B titles.
+	DropRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// AbtBuy returns the default configuration, sized like the Abt-Buy
+// benchmark used in the demo (≈1081 + 1092 profiles, ≈1100 true matches).
+func AbtBuy() Config {
+	return Config{
+		CoreEntities:  1000,
+		AOnly:         81,
+		BOnly:         0,
+		BDup:          92,
+		CrossOnlyRate: 0.08,
+		TypoRate:      0.06,
+		DropRate:      0.12,
+		Seed:          1234,
+	}
+}
+
+// Scaled multiplies every size by f (for the scalability experiments).
+func (c Config) Scaled(f int) Config {
+	if f < 1 {
+		f = 1
+	}
+	c.CoreEntities *= f
+	c.AOnly *= f
+	c.BOnly *= f
+	c.BDup *= f
+	return c
+}
+
+// vocabulary holds the deterministic word pools.
+type vocabulary struct {
+	brands     []string
+	categories []category
+	pool1      []string // description words shared by both sources
+	pricePts   []string // common price points (low-entropy vocabulary)
+	rarePts    []string // price points used only by unmatched A products
+	specs      []string // numeric measurements shared with price tokens
+}
+
+type category struct {
+	full    string
+	abbrev  string
+	related []string
+}
+
+// entity is one real-world product.
+type entity struct {
+	brand      string
+	cat        category
+	model      string
+	price      string
+	descWords  []string // from pool1
+	otherWords []string // pool1 words disjoint from descWords (cross-only filler)
+	crossOnly  bool
+}
+
+const (
+	consonants = "bcdfgklmnprstvz"
+	vowels     = "aeiou"
+)
+
+// makeWord builds a pronounceable pseudo-word of n syllables.
+func makeWord(rng *rand.Rand, syllables int) string {
+	var b strings.Builder
+	for i := 0; i < syllables; i++ {
+		b.WriteByte(consonants[rng.Intn(len(consonants))])
+		b.WriteByte(vowels[rng.Intn(len(vowels))])
+	}
+	return b.String()
+}
+
+func makeVocabulary(rng *rand.Rand) *vocabulary {
+	v := &vocabulary{}
+	seen := map[string]bool{}
+	uniqueWord := func(syllables int) string {
+		for {
+			w := makeWord(rng, syllables)
+			if !seen[w] {
+				seen[w] = true
+				return w
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		v.brands = append(v.brands, uniqueWord(3))
+	}
+	for i := 0; i < 24; i++ {
+		c := category{full: uniqueWord(4), abbrev: uniqueWord(2)}
+		for j := 0; j < 4; j++ {
+			c.related = append(c.related, uniqueWord(3))
+		}
+		v.categories = append(v.categories, c)
+	}
+	for i := 0; i < 150; i++ {
+		v.pool1 = append(v.pool1, uniqueWord(3))
+	}
+	// A small set of recurring price points: realistic retail pricing and,
+	// crucially, a low-entropy token distribution.
+	cents := []string{"99", "95", "50", "00"}
+	for i := 0; i < 15; i++ {
+		base := 9 + i*67
+		for j, c := range cents {
+			v.pricePts = append(v.pricePts, fmt.Sprintf("%d.%s", base+j*3, c))
+		}
+	}
+	// Rare points keep the two price vocabularies from being identical, so
+	// an LSH threshold of 1.0 cannot cluster them (Figure 6(a)).
+	for i := 0; i < 10; i++ {
+		v.rarePts = append(v.rarePts, fmt.Sprintf("%d.98", 13+i*71))
+	}
+	// Spec tokens are measurements quoted in product text ("50 inch",
+	// "99 watt"). They collide with price tokens under schema-agnostic
+	// blocking but split apart once loose-schema keys qualify them by
+	// cluster — the "Simonini_1 vs Simonini_2" effect of Figure 2(b),
+	// and the reason candidate pairs drop from Figure 6(a) to 6(b).
+	for i := 0; i < 15; i++ {
+		v.specs = append(v.specs, fmt.Sprintf("%d", 9+i*67))
+	}
+	v.specs = append(v.specs, cents...)
+	return v
+}
+
+func makeModel(rng *rand.Rand, id int) string {
+	letters := "qwxzkv"
+	return fmt.Sprintf("%c%c%04d", letters[rng.Intn(len(letters))], letters[rng.Intn(len(letters))], id)
+}
+
+// typo swaps two adjacent characters.
+func typo(rng *rand.Rand, w string) string {
+	if len(w) < 3 {
+		return w
+	}
+	i := rng.Intn(len(w) - 1)
+	b := []byte(w)
+	b[i], b[i+1] = b[i+1], b[i]
+	return string(b)
+}
+
+func sample(rng *rand.Rand, pool []string, n int) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// Dataset is the generated benchmark.
+type Dataset struct {
+	Collection *profile.Collection
+	// GroundTruth pairs reference original IDs: [A-original, B-original]
+	// for clean-clean output, [orig, orig] within the source for dirty.
+	GroundTruth [][2]string
+}
+
+// Generate builds the clean-clean benchmark.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := makeVocabulary(rng)
+
+	entities := make([]*entity, cfg.CoreEntities+cfg.AOnly+cfg.BOnly)
+	for i := range entities {
+		e := &entity{
+			brand: vocab.brands[rng.Intn(len(vocab.brands))],
+			cat:   vocab.categories[rng.Intn(len(vocab.categories))],
+			model: makeModel(rng, i),
+			price: vocab.pricePts[rng.Intn(len(vocab.pricePts))],
+		}
+		perm := rng.Perm(len(vocab.pool1))
+		nDesc := 8 + rng.Intn(8)
+		for _, j := range perm[:nDesc] {
+			e.descWords = append(e.descWords, vocab.pool1[j])
+		}
+		for _, j := range perm[nDesc:] {
+			e.otherWords = append(e.otherWords, vocab.pool1[j])
+		}
+		if i < cfg.CoreEntities {
+			e.crossOnly = rng.Float64() < cfg.CrossOnlyRate
+		} else if i < cfg.CoreEntities+cfg.AOnly {
+			// Unmatched A products use the rare price points so the two
+			// sources' price vocabularies differ.
+			e.price = vocab.rarePts[rng.Intn(len(vocab.rarePts))]
+		}
+		entities[i] = e
+	}
+
+	var a, b []profile.Profile
+	var gt [][2]string
+
+	renderAID := func(i int) string { return fmt.Sprintf("abt-%04d", i) }
+	renderBID := func(i, copyN int) string {
+		if copyN == 0 {
+			return fmt.Sprintf("buy-%04d", i)
+		}
+		return fmt.Sprintf("buy-%04d-dup%d", i, copyN)
+	}
+
+	// Source A renderings: core entities + A-only padding.
+	for i := 0; i < cfg.CoreEntities+cfg.AOnly; i++ {
+		a = append(a, renderA(rng, vocab, entities[i], renderAID(i)))
+	}
+	// Source B renderings: core entities + B-only padding + duplicates.
+	for i := 0; i < cfg.CoreEntities; i++ {
+		b = append(b, renderB(rng, vocab, entities[i], renderBID(i, 0), cfg))
+		gt = append(gt, [2]string{renderAID(i), renderBID(i, 0)})
+	}
+	for i := 0; i < cfg.BOnly; i++ {
+		idx := cfg.CoreEntities + cfg.AOnly + i
+		b = append(b, renderB(rng, vocab, entities[idx], renderBID(idx, 0), cfg))
+	}
+	for d := 0; d < cfg.BDup; d++ {
+		i := rng.Intn(cfg.CoreEntities)
+		// Duplicate renderings are never cross-only; they are easy matches.
+		e := *entities[i]
+		e.crossOnly = false
+		b = append(b, renderB(rng, vocab, &e, renderBID(i, d+1), cfg))
+		gt = append(gt, [2]string{renderAID(i), renderBID(i, d+1)})
+	}
+
+	return &Dataset{Collection: profile.NewCleanClean(a, b), GroundTruth: gt}
+}
+
+// renderA produces the verbose "Abt-style" rendering: full name with
+// brand, category and model; long description; price usually present.
+func renderA(rng *rand.Rand, vocab *vocabulary, e *entity, id string) profile.Profile {
+	p := profile.Profile{OriginalID: id}
+	rel := e.cat.related[rng.Intn(len(e.cat.related))]
+	p.Add("name", strings.Join([]string{e.brand, e.cat.full, rel, e.model}, " "))
+
+	descParts := []string{e.brand, e.cat.full}
+	descParts = append(descParts, sample(rng, vocab.specs, 2)...)
+	descParts = append(descParts, e.descWords...)
+	if !e.crossOnly {
+		descParts = append(descParts, e.model)
+	}
+	p.Add("description", strings.Join(descParts, " "))
+
+	if !e.crossOnly { // cross-only pairs must not meet through prices
+		p.Add("price", e.price)
+	}
+	return p
+}
+
+// renderB produces the terse "Buy-style" rendering with typos, drops and
+// abbreviations. Cross-only entities share tokens with their A rendering
+// only between B's short_descr (model) and A's name, and are severed when
+// names and descriptions are partitioned apart.
+func renderB(rng *rand.Rand, vocab *vocabulary, e *entity, id string, cfg Config) profile.Profile {
+	p := profile.Profile{OriginalID: id}
+
+	if e.crossOnly {
+		// Title: abbreviated category + filler words disjoint from the A
+		// rendering's tokens; no brand, no model, nothing from A's name.
+		words := append([]string{e.cat.abbrev}, sample(rng, e.otherWords, 3+rng.Intn(2))...)
+		p.Add("title", strings.Join(words, " "))
+		// Short description: the model (the only link to A) + filler.
+		sd := append([]string{e.model}, sample(rng, e.otherWords, 3+rng.Intn(4))...)
+		p.Add("short_descr", strings.Join(sd, " "))
+		// No price: a shared price point would re-link the pair.
+		return p
+	}
+
+	var words []string
+	push := func(w string) {
+		if rng.Float64() < cfg.DropRate {
+			return
+		}
+		if rng.Float64() < cfg.TypoRate {
+			w = typo(rng, w)
+		}
+		words = append(words, w)
+	}
+	push(e.brand)
+	push(e.model)
+	cat := e.cat.full
+	if rng.Float64() < 0.3 {
+		cat = e.cat.abbrev
+	}
+	push(cat)
+	push(e.cat.related[rng.Intn(len(e.cat.related))])
+	// Buy-style titles carry descriptive phrases and measurements; the
+	// shared phrases bridge B.title with A.description vocabulary during
+	// attribute partitioning.
+	for _, s := range sample(rng, vocab.specs, 2) {
+		push(s)
+	}
+	for _, w := range sample(rng, e.descWords, 2+rng.Intn(3)) {
+		push(w)
+	}
+	if len(words) == 0 {
+		words = []string{e.model}
+	}
+	p.Add("title", strings.Join(words, " "))
+
+	if rng.Float64() < 0.6 {
+		sd := sample(rng, e.descWords, 3+rng.Intn(5))
+		sd = append(sd, e.model)
+		p.Add("short_descr", strings.Join(sd, " "))
+	}
+
+	price := e.price
+	if rng.Float64() < 0.1 {
+		price = vocab.pricePts[rng.Intn(len(vocab.pricePts))]
+	}
+	p.Add("list_price", price)
+	return p
+}
+
+// GenerateDirty builds a single-source dataset with internal duplicates:
+// every entity is rendered 1–3 times with Buy-style perturbations. Used by
+// the dirty-ER tests and examples.
+func GenerateDirty(numEntities int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := makeVocabulary(rng)
+	cfg := Config{TypoRate: 0.06, DropRate: 0.1}
+
+	var ps []profile.Profile
+	var gt [][2]string
+	for i := 0; i < numEntities; i++ {
+		e := &entity{
+			brand: vocab.brands[rng.Intn(len(vocab.brands))],
+			cat:   vocab.categories[rng.Intn(len(vocab.categories))],
+			model: makeModel(rng, i),
+			price: vocab.pricePts[rng.Intn(len(vocab.pricePts))],
+		}
+		e.descWords = sample(rng, vocab.pool1, 8+rng.Intn(8))
+		copies := 1 + rng.Intn(3)
+		var ids []string
+		for c := 0; c < copies; c++ {
+			id := fmt.Sprintf("rec-%04d-%d", i, c)
+			ids = append(ids, id)
+			if c == 0 {
+				p := renderA(rng, vocab, e, id)
+				ps = append(ps, p)
+			} else {
+				p := renderB(rng, vocab, e, id, cfg)
+				ps = append(ps, p)
+			}
+		}
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				gt = append(gt, [2]string{ids[x], ids[y]})
+			}
+		}
+	}
+	return &Dataset{Collection: profile.NewDirty(ps), GroundTruth: gt}
+}

@@ -1,0 +1,230 @@
+package datagen
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/evaluation"
+	"sparker/internal/looseschema"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+func TestGenerateSizesMirrorAbtBuy(t *testing.T) {
+	ds := Generate(AbtBuy())
+	c := ds.Collection
+	if c.Separator != 1081 {
+		t.Fatalf("|A|=%d, want 1081", c.Separator)
+	}
+	if c.Size()-int(c.Separator) != 1092 {
+		t.Fatalf("|B|=%d, want 1092", c.Size()-int(c.Separator))
+	}
+	if len(ds.GroundTruth) != 1092 {
+		t.Fatalf("|GT|=%d, want 1092", len(ds.GroundTruth))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := Generate(AbtBuy())
+	d2 := Generate(AbtBuy())
+	if !reflect.DeepEqual(d1.Collection.Profiles, d2.Collection.Profiles) {
+		t.Fatal("same seed produced different collections")
+	}
+	if !reflect.DeepEqual(d1.GroundTruth, d2.GroundTruth) {
+		t.Fatal("same seed produced different ground truths")
+	}
+	cfg := AbtBuy()
+	cfg.Seed = 999
+	d3 := Generate(cfg)
+	if reflect.DeepEqual(d1.Collection.Profiles, d3.Collection.Profiles) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGroundTruthResolvable(t *testing.T) {
+	ds := Generate(AbtBuy())
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() != len(ds.GroundTruth) {
+		t.Fatalf("resolved %d of %d pairs", gt.Size(), len(ds.GroundTruth))
+	}
+}
+
+func TestSchemasDifferAcrossSources(t *testing.T) {
+	ds := Generate(AbtBuy())
+	c := ds.Collection
+	aAttrs := map[string]bool{}
+	bAttrs := map[string]bool{}
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		for _, name := range p.AttributeNames() {
+			if p.SourceID == 0 {
+				aAttrs[name] = true
+			} else {
+				bAttrs[name] = true
+			}
+		}
+	}
+	for name := range aAttrs {
+		if bAttrs[name] {
+			t.Fatalf("attribute %q appears in both sources; schemas must differ", name)
+		}
+	}
+}
+
+// TestFigure6PartitioningShape locks in the demo walkthrough's partition
+// behaviour: blob-only at threshold 1.0, text + price clusters at 0.3.
+func TestFigure6PartitioningShape(t *testing.T) {
+	ds := Generate(AbtBuy())
+	c := ds.Collection
+
+	blob := looseschema.Partition(c, looseschema.Options{Threshold: 1.0})
+	for _, name := range c.AttributeNames() {
+		if blob.ClusterOfName(name) != looseschema.BlobCluster {
+			t.Fatalf("threshold 1.0: %s escaped the blob", name)
+		}
+	}
+
+	p := looseschema.Partition(c, looseschema.Options{Threshold: 0.3})
+	text := p.ClusterOf(0, "name")
+	if text == looseschema.BlobCluster {
+		t.Fatal("name not clustered at 0.3")
+	}
+	for _, attr := range [][2]any{{0, "description"}, {1, "title"}, {1, "short_descr"}} {
+		if p.ClusterOf(attr[0].(int), attr[1].(string)) != text {
+			t.Fatalf("%v not in the text cluster", attr)
+		}
+	}
+	price := p.ClusterOf(0, "price")
+	if price == looseschema.BlobCluster || price == text {
+		t.Fatalf("price cluster=%d text=%d", price, text)
+	}
+	if p.ClusterOf(1, "list_price") != price {
+		t.Fatal("list_price not with price")
+	}
+	if len(p.Clusters[looseschema.BlobCluster]) != 0 {
+		t.Fatalf("blob not empty at 0.3: %v", p.Clusters[looseschema.BlobCluster])
+	}
+	// The entropy relationship driving Figure 6(e): text >> price.
+	if p.EntropyOf(text) <= p.EntropyOf(price) {
+		t.Fatalf("text entropy %.2f <= price entropy %.2f", p.EntropyOf(text), p.EntropyOf(price))
+	}
+}
+
+// TestBlockingRecallPerfect checks schema-agnostic token blocking finds
+// every true pair (before any pruning), i.e. every match shares a token.
+func TestBlockingRecallPerfect(t *testing.T) {
+	ds := Generate(AbtBuy())
+	c := ds.Collection
+	gt, err := evaluation.FromOriginalIDs(c, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := blocking.TokenBlocking(c, blocking.Options{})
+	m := evaluation.EvaluatePairs(blocks.DistinctPairs(), gt, c.MaxComparisons())
+	if m.Recall < 0.9999 {
+		t.Fatalf("recall=%f; some matches share no token at all", m.Recall)
+	}
+}
+
+// TestCrossOnlyPairsIsolated checks the E4 mechanism: a cross-only pair
+// shares tokens only between A's name/description side and B's
+// short_descr (the model number), so splitting names from descriptions
+// severs it.
+func TestCrossOnlyPairsIsolated(t *testing.T) {
+	cfg := AbtBuy()
+	cfg.CrossOnlyRate = 1.0 // every core entity cross-only
+	cfg.CoreEntities = 30
+	cfg.AOnly, cfg.BDup = 0, 0
+	ds := Generate(cfg)
+	c := ds.Collection
+
+	for i := 0; i < 30; i++ {
+		a := c.Get(profile.ID(i))
+		b := c.Get(profile.ID(30 + i))
+		nameTokens := map[string]bool{}
+		for _, tok := range tokenize.Tokens(a.Value("name")) {
+			nameTokens[tok] = true
+		}
+		for _, tok := range tokenize.Tokens(b.Value("title")) {
+			if nameTokens[tok] {
+				t.Fatalf("entity %d: cross-only title shares %q with A name", i, tok)
+			}
+		}
+		descTokens := map[string]bool{}
+		for _, tok := range tokenize.Tokens(a.Value("description")) {
+			descTokens[tok] = true
+		}
+		for _, tok := range tokenize.Tokens(b.Value("short_descr")) {
+			if descTokens[tok] {
+				t.Fatalf("entity %d: cross-only short_descr shares %q with A description", i, tok)
+			}
+		}
+		// The single designed link: the model in B's short_descr vs A name.
+		model := strings.Fields(a.Value("name"))[3]
+		if !strings.Contains(b.Value("short_descr"), model) {
+			t.Fatalf("entity %d: model link missing", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := AbtBuy().Scaled(2)
+	if cfg.CoreEntities != 2000 || cfg.AOnly != 162 {
+		t.Fatalf("%+v", cfg)
+	}
+	if got := AbtBuy().Scaled(0); got.CoreEntities != 1000 {
+		t.Fatalf("scale 0 must clamp to 1: %+v", got)
+	}
+}
+
+func TestGenerateDirty(t *testing.T) {
+	ds := GenerateDirty(50, 7)
+	if ds.Collection.IsClean() {
+		t.Fatal("dirty dataset reports clean")
+	}
+	if err := ds.Collection.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() == 0 {
+		t.Fatal("no duplicates generated")
+	}
+	// Deterministic.
+	ds2 := GenerateDirty(50, 7)
+	if !reflect.DeepEqual(ds.Collection.Profiles, ds2.Collection.Profiles) {
+		t.Fatal("dirty generation not deterministic")
+	}
+}
+
+func TestTypoSwapsAdjacent(t *testing.T) {
+	// typo must preserve length and the multiset of characters.
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 50; i++ {
+		w := "abcdefgh"
+		got := typo(rng, w)
+		if len(got) != len(w) {
+			t.Fatalf("typo changed length: %q", got)
+		}
+		bytes := []byte(got)
+		sort.Slice(bytes, func(i, j int) bool { return bytes[i] < bytes[j] })
+		if string(bytes) != w {
+			t.Fatalf("typo changed characters: %q", got)
+		}
+	}
+	if got := typo(rng, "ab"); got != "ab" {
+		t.Fatalf("short word mutated: %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package evaluation computes the quality measures the SparkER debug
+// workflow displays after every step: recall (pair completeness) and
+// precision (pair quality) of a candidate-pair set against a ground
+// truth, reduction ratio against exhaustive comparison, and the lost-pair
+// (false-negative) drill-down of Figure 6(d).
+package evaluation
+
+import (
+	"fmt"
+	"sort"
+
+	"sparker/internal/blocking"
+	"sparker/internal/matching"
+	"sparker/internal/profile"
+)
+
+// GroundTruth is the set of true matching pairs, keyed canonically.
+type GroundTruth struct {
+	pairs map[blocking.Pair]bool
+}
+
+// NewGroundTruth builds a ground truth from canonical pairs.
+func NewGroundTruth(pairs []blocking.Pair) *GroundTruth {
+	gt := &GroundTruth{pairs: make(map[blocking.Pair]bool, len(pairs))}
+	for _, p := range pairs {
+		gt.pairs[p.Canonical()] = true
+	}
+	return gt
+}
+
+// FromOriginalIDs builds a ground truth from (originalID, originalID)
+// pairs, resolving them to internal IDs through the collection. Unknown
+// original IDs are reported as an error since a silently shrunken ground
+// truth corrupts every metric downstream.
+func FromOriginalIDs(c *profile.Collection, idPairs [][2]string) (*GroundTruth, error) {
+	lookup := map[string]profile.ID{}
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		lookup[originalKey(p.SourceID, p.OriginalID)] = p.ID
+	}
+	var pairs []blocking.Pair
+	for _, ip := range idPairs {
+		a, okA := lookup[originalKey(0, ip[0])]
+		b, okB := lookup[originalKey(1, ip[1])]
+		if !c.IsClean() {
+			// Dirty task: both IDs resolve within the single source.
+			b, okB = lookup[originalKey(0, ip[1])]
+		}
+		if !okA || !okB {
+			return nil, fmt.Errorf("evaluation: ground truth references unknown profile (%q, %q)", ip[0], ip[1])
+		}
+		pairs = append(pairs, blocking.Pair{A: a, B: b})
+	}
+	return NewGroundTruth(pairs), nil
+}
+
+func originalKey(source int, id string) string { return fmt.Sprintf("%d|%s", source, id) }
+
+// Size returns the number of true pairs.
+func (gt *GroundTruth) Size() int { return len(gt.pairs) }
+
+// Contains reports whether the canonical form of p is a true match.
+func (gt *GroundTruth) Contains(p blocking.Pair) bool { return gt.pairs[p.Canonical()] }
+
+// Pairs returns the true pairs in deterministic order.
+func (gt *GroundTruth) Pairs() []blocking.Pair {
+	out := make([]blocking.Pair, 0, len(gt.pairs))
+	for p := range gt.pairs {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []blocking.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// Metrics are the per-step quality numbers of the debug display.
+type Metrics struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	// Recall is pair completeness PC: found true pairs / all true pairs.
+	Recall float64
+	// Precision is pair quality PQ: found true pairs / candidate pairs.
+	Precision float64
+	F1        float64
+	// ReductionRatio is 1 - candidates/exhaustive comparisons (0 when the
+	// exhaustive count was not supplied).
+	ReductionRatio float64
+	Candidates     int
+}
+
+// String renders the metrics like the demo GUI's status line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("candidates=%d recall=%.4f precision=%.4f f1=%.4f rr=%.4f",
+		m.Candidates, m.Recall, m.Precision, m.F1, m.ReductionRatio)
+}
+
+// EvaluatePairs scores a candidate-pair set against the ground truth.
+// maxComparisons is the exhaustive comparison count used for the reduction
+// ratio; pass 0 to skip it.
+func EvaluatePairs(candidates []blocking.Pair, gt *GroundTruth, maxComparisons int64) Metrics {
+	m := Metrics{Candidates: len(candidates)}
+	seen := map[blocking.Pair]bool{}
+	for _, p := range candidates {
+		cp := p.Canonical()
+		if seen[cp] {
+			continue
+		}
+		seen[cp] = true
+		if gt.Contains(cp) {
+			m.TruePositives++
+		} else {
+			m.FalsePositives++
+		}
+	}
+	m.FalseNegatives = gt.Size() - m.TruePositives
+	if gt.Size() > 0 {
+		m.Recall = float64(m.TruePositives) / float64(gt.Size())
+	}
+	if len(seen) > 0 {
+		m.Precision = float64(m.TruePositives) / float64(len(seen))
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	if maxComparisons > 0 {
+		m.ReductionRatio = 1 - float64(len(seen))/float64(maxComparisons)
+	}
+	return m
+}
+
+// EvaluateMatches scores matcher output (or clustering co-reference
+// pairs).
+func EvaluateMatches(matches []matching.Match, gt *GroundTruth, maxComparisons int64) Metrics {
+	pairs := make([]blocking.Pair, len(matches))
+	for i, m := range matches {
+		pairs[i] = blocking.Pair{A: m.A, B: m.B}
+	}
+	return EvaluatePairs(pairs, gt, maxComparisons)
+}
+
+// LostPairs returns the ground-truth pairs missing from the candidate set
+// — the "false positives" panel of Figure 6(d), which lists the true
+// matches lost by the blocking configuration.
+func LostPairs(candidates []blocking.Pair, gt *GroundTruth) []blocking.Pair {
+	found := map[blocking.Pair]bool{}
+	for _, p := range candidates {
+		found[p.Canonical()] = true
+	}
+	var out []blocking.Pair
+	for p := range gt.pairs {
+		if !found[p] {
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// SharedKeys explains why two profiles could block together: the blocking
+// keys they share under the given options. The Figure 6(d) drill-down
+// shows these for each lost pair so the user can see which attribute
+// partitioning decision severed them.
+func SharedKeys(c *profile.Collection, opts blocking.Options, a, b profile.ID) []string {
+	keysA := map[string]bool{}
+	for _, kt := range profileKeys(&opts, c.Get(a)) {
+		keysA[kt] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, kt := range profileKeys(&opts, c.Get(b)) {
+		if keysA[kt] && !seen[kt] {
+			seen[kt] = true
+			out = append(out, kt)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func profileKeys(opts *blocking.Options, p *profile.Profile) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, kv := range p.Attributes {
+		for _, tok := range opts.Tokenizer.Tokens(kv.Value) {
+			key, _ := opts.KeyFor(p.SourceID, kv.Key, tok)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}

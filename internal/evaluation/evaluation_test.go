@@ -1,0 +1,175 @@
+package evaluation
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/matching"
+	"sparker/internal/profile"
+)
+
+func gt4() *GroundTruth {
+	return NewGroundTruth([]blocking.Pair{{A: 0, B: 10}, {A: 1, B: 11}, {A: 2, B: 12}, {A: 3, B: 13}})
+}
+
+func TestEvaluatePairs(t *testing.T) {
+	gt := gt4()
+	candidates := []blocking.Pair{
+		{A: 0, B: 10}, // TP
+		{A: 1, B: 11}, // TP
+		{A: 0, B: 11}, // FP
+		{A: 0, B: 12}, // FP
+	}
+	m := EvaluatePairs(candidates, gt, 100)
+	if m.TruePositives != 2 || m.FalsePositives != 2 || m.FalseNegatives != 2 {
+		t.Fatalf("%+v", m)
+	}
+	if math.Abs(m.Recall-0.5) > 1e-9 || math.Abs(m.Precision-0.5) > 1e-9 {
+		t.Fatalf("%+v", m)
+	}
+	if math.Abs(m.F1-0.5) > 1e-9 {
+		t.Fatalf("f1=%f", m.F1)
+	}
+	if math.Abs(m.ReductionRatio-0.96) > 1e-9 {
+		t.Fatalf("rr=%f", m.ReductionRatio)
+	}
+}
+
+func TestEvaluatePairsDeduplicates(t *testing.T) {
+	gt := gt4()
+	candidates := []blocking.Pair{{A: 0, B: 10}, {A: 0, B: 10}, {B: 0, A: 10}}
+	m := EvaluatePairs(candidates, gt, 0)
+	if m.TruePositives != 1 || m.Precision != 1 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestEvaluatePairsCanonicalises(t *testing.T) {
+	gt := NewGroundTruth([]blocking.Pair{{A: 10, B: 0}}) // reversed order
+	m := EvaluatePairs([]blocking.Pair{{A: 0, B: 10}}, gt, 0)
+	if m.TruePositives != 1 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	gt := gt4()
+	m := EvaluatePairs(nil, gt, 0)
+	if m.Recall != 0 || m.Precision != 0 || m.F1 != 0 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestEvaluateMatches(t *testing.T) {
+	gt := gt4()
+	matches := []matching.Match{{A: 0, B: 10, Score: 0.9}, {A: 5, B: 15, Score: 0.8}}
+	m := EvaluateMatches(matches, gt, 0)
+	if m.TruePositives != 1 || m.FalsePositives != 1 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestLostPairs(t *testing.T) {
+	gt := gt4()
+	candidates := []blocking.Pair{{A: 0, B: 10}, {A: 2, B: 12}}
+	lost := LostPairs(candidates, gt)
+	want := []blocking.Pair{{A: 1, B: 11}, {A: 3, B: 13}}
+	if !reflect.DeepEqual(lost, want) {
+		t.Fatalf("lost=%v want %v", lost, want)
+	}
+}
+
+func TestFromOriginalIDs(t *testing.T) {
+	a := []profile.Profile{{OriginalID: "a1"}, {OriginalID: "a2"}}
+	b := []profile.Profile{{OriginalID: "b1"}}
+	c := profile.NewCleanClean(a, b)
+	gt, err := FromOriginalIDs(c, [][2]string{{"a1", "b1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() != 1 || !gt.Contains(blocking.Pair{A: 0, B: 2}) {
+		t.Fatalf("gt=%v", gt.Pairs())
+	}
+}
+
+func TestFromOriginalIDsUnknownErrors(t *testing.T) {
+	c := profile.NewCleanClean([]profile.Profile{{OriginalID: "a1"}}, []profile.Profile{{OriginalID: "b1"}})
+	if _, err := FromOriginalIDs(c, [][2]string{{"a1", "nope"}}); err == nil {
+		t.Fatal("want error for unknown original ID")
+	}
+}
+
+func TestFromOriginalIDsDirty(t *testing.T) {
+	c := profile.NewDirty([]profile.Profile{{OriginalID: "x"}, {OriginalID: "y"}})
+	gt, err := FromOriginalIDs(c, [][2]string{{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Contains(blocking.Pair{A: 0, B: 1}) {
+		t.Fatal("dirty pair not resolved")
+	}
+}
+
+func TestSharedKeys(t *testing.T) {
+	mk := func(id string, kvs ...[2]string) profile.Profile {
+		p := profile.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	c := profile.NewCleanClean(
+		[]profile.Profile{mk("a", [2]string{"name", "acme widget"})},
+		[]profile.Profile{mk("b", [2]string{"title", "widget deluxe"})},
+	)
+	keys := SharedKeys(c, blocking.Options{}, 0, 1)
+	if !reflect.DeepEqual(keys, []string{"widget"}) {
+		t.Fatalf("keys=%v", keys)
+	}
+}
+
+func TestSharedKeysWithClustering(t *testing.T) {
+	mk := func(id string, kvs ...[2]string) profile.Profile {
+		p := profile.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	c := profile.NewCleanClean(
+		[]profile.Profile{mk("a", [2]string{"name", "widget"})},
+		[]profile.Profile{mk("b", [2]string{"descr", "widget"})},
+	)
+	// name in cluster 1, descr in cluster 2: the token no longer collides.
+	clustering := splitClustering{}
+	keys := SharedKeys(c, blocking.Options{Clustering: clustering}, 0, 1)
+	if len(keys) != 0 {
+		t.Fatalf("split attributes still share keys: %v", keys)
+	}
+}
+
+type splitClustering struct{}
+
+func (splitClustering) ClusterOf(_ int, attribute string) int {
+	if attribute == "name" {
+		return 1
+	}
+	return 2
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Candidates: 5, Recall: 0.5, Precision: 0.25}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestGroundTruthPairsSorted(t *testing.T) {
+	gt := NewGroundTruth([]blocking.Pair{{A: 5, B: 6}, {A: 1, B: 2}})
+	pairs := gt.Pairs()
+	if !reflect.DeepEqual(pairs, []blocking.Pair{{A: 1, B: 2}, {A: 5, B: 6}}) {
+		t.Fatalf("pairs=%v", pairs)
+	}
+}

@@ -1,0 +1,88 @@
+package looseschema
+
+import (
+	"fmt"
+	"sort"
+
+	"sparker/internal/dataflow"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+// ExtractAttributeProfilesDistributed builds the per-attribute
+// vocabularies on the dataflow engine: profiles are partitioned, each
+// task emits (qualified attribute, token) pairs, and an aggregation
+// shuffle assembles token counts per attribute — the way SparkER runs
+// this stage on Spark. The output is identical to the sequential
+// ExtractAttributeProfiles.
+func ExtractAttributeProfilesDistributed(ctx *dataflow.Context, c *profile.Collection, tok tokenize.Options, numPartitions int) ([]*AttributeProfile, error) {
+	profiles := dataflow.Parallelize(ctx, c.Profiles, numPartitions)
+
+	type attrToken struct {
+		Source int
+		Attr   string
+		Token  string
+	}
+	tokens := dataflow.FlatMap(profiles, func(p profile.Profile) []dataflow.KV[string, attrToken] {
+		var out []dataflow.KV[string, attrToken]
+		for _, kv := range p.Attributes {
+			name := profile.QualifiedAttribute(p.SourceID, kv.Key)
+			for _, t := range tok.Tokens(kv.Value) {
+				out = append(out, dataflow.KV[string, attrToken]{
+					Key:   name,
+					Value: attrToken{Source: p.SourceID, Attr: kv.Key, Token: t},
+				})
+			}
+		}
+		return out
+	})
+
+	type vocab struct {
+		Source int
+		Attr   string
+		Counts map[string]int
+		Total  int
+	}
+	aggregated := dataflow.AggregateByKey(tokens,
+		func() vocab { return vocab{Counts: map[string]int{}} },
+		func(v vocab, at attrToken) vocab {
+			v.Source = at.Source
+			v.Attr = at.Attr
+			v.Counts[at.Token]++
+			v.Total++
+			return v
+		},
+		func(a, b vocab) vocab {
+			if a.Attr == "" {
+				a.Source, a.Attr = b.Source, b.Attr
+			}
+			for t, n := range b.Counts {
+				a.Counts[t] += n
+			}
+			a.Total += b.Total
+			return a
+		}, numPartitions)
+
+	kvs, err := aggregated.Collect()
+	if err != nil {
+		return nil, fmt.Errorf("looseschema: distributed extraction: %w", err)
+	}
+	out := make([]*AttributeProfile, 0, len(kvs))
+	for _, kv := range kvs {
+		ap := &AttributeProfile{
+			Name:      kv.Key,
+			SourceID:  kv.Value.Source,
+			Attribute: kv.Value.Attr,
+			Counts:    kv.Value.Counts,
+			Total:     kv.Value.Total,
+		}
+		ap.Tokens = make([]string, 0, len(ap.Counts))
+		for t := range ap.Counts {
+			ap.Tokens = append(ap.Tokens, t)
+		}
+		sort.Strings(ap.Tokens)
+		out = append(out, ap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

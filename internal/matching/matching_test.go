@@ -1,0 +1,306 @@
+package matching
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sparker/internal/blocking"
+	"sparker/internal/dataflow"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccardTokens(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a"}, []string{"a"}, 1},
+		{[]string{"a"}, []string{"b"}, 0},
+		{nil, nil, 0},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1},
+	}
+	for _, c := range cases {
+		if got := JaccardTokens(c.a, c.b); !almostEqual(got, c.want) {
+			t.Errorf("Jaccard(%v,%v)=%f want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDiceOverlap(t *testing.T) {
+	if got := DiceTokens([]string{"a", "b"}, []string{"b", "c"}); !almostEqual(got, 0.5) {
+		t.Fatalf("dice=%f", got)
+	}
+	if got := OverlapTokens([]string{"a", "b"}, []string{"b"}); !almostEqual(got, 1) {
+		t.Fatalf("overlap=%f", got)
+	}
+	if got := OverlapTokens(nil, []string{"b"}); got != 0 {
+		t.Fatalf("overlap empty=%f", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("lev(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSimilarityRange(t *testing.T) {
+	if got := LevenshteinSimilarity("abc", "abc"); got != 1 {
+		t.Fatalf("identical: %f", got)
+	}
+	if got := LevenshteinSimilarity("abc", "xyz"); got != 0 {
+		t.Fatalf("disjoint: %f", got)
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	// Classic reference values (rounded).
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.9444) > 1e-3 {
+		t.Fatalf("jaro martha/marhta=%f", got)
+	}
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.9611) > 1e-3 {
+		t.Fatalf("jw martha/marhta=%f", got)
+	}
+	if got := Jaro("", ""); got != 1 {
+		t.Fatalf("jaro empty=%f", got)
+	}
+	if got := Jaro("a", ""); got != 0 {
+		t.Fatalf("jaro half-empty=%f", got)
+	}
+}
+
+func TestNumericSimilarity(t *testing.T) {
+	if got := NumericSimilarity("100", "100"); got != 1 {
+		t.Fatalf("equal: %f", got)
+	}
+	if got := NumericSimilarity("100", "90"); !almostEqual(got, 0.9) {
+		t.Fatalf("90/100: %f", got)
+	}
+	if got := NumericSimilarity("abc", "100"); got != 0 {
+		t.Fatalf("unparsable: %f", got)
+	}
+	if got := NumericSimilarity("0", "0"); got != 1 {
+		t.Fatalf("zeros: %f", got)
+	}
+}
+
+func TestQuickSimilaritiesBounded(t *testing.T) {
+	f := func(a, b []string) bool {
+		for _, v := range []float64{JaccardTokens(a, b), DiceTokens(a, b), OverlapTokens(a, b)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJaccardSymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return almostEqual(JaccardTokens(a, b), JaccardTokens(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 20 || len(b) > 20 || len(c) > 20 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkCollection() *profile.Collection {
+	mk := func(id, name string) profile.Profile {
+		p := profile.Profile{OriginalID: id}
+		p.Add("name", name)
+		return p
+	}
+	a := []profile.Profile{
+		mk("a1", "acme turbo widget deluxe"),
+		mk("a2", "zenix compact gadget"),
+	}
+	b := []profile.Profile{
+		mk("b1", "acme turbo widget"),
+		mk("b2", "other thing entirely"),
+	}
+	return profile.NewCleanClean(a, b)
+}
+
+func TestTFIDFCosine(t *testing.T) {
+	c := mkCollection()
+	m := NewTFIDF(c, tokenize.Options{})
+	same := m.Cosine(c.Get(0), c.Get(2))
+	diff := m.Cosine(c.Get(0), c.Get(3))
+	if same <= diff {
+		t.Fatalf("cosine same=%f diff=%f", same, diff)
+	}
+	if same <= 0 || same > 1+1e-9 {
+		t.Fatalf("cosine out of range: %f", same)
+	}
+}
+
+func TestMatchPairsThreshold(t *testing.T) {
+	c := mkCollection()
+	pairs := []blocking.Pair{{A: 0, B: 2}, {A: 0, B: 3}, {A: 1, B: 3}}
+	got := MatchPairs(c, pairs, JaccardMeasure(tokenize.Options{}), 0.5)
+	if len(got) != 1 || got[0].A != 0 || got[0].B != 2 {
+		t.Fatalf("matches: %v", got)
+	}
+	if got[0].Score < 0.5 {
+		t.Fatalf("score below threshold: %v", got[0])
+	}
+}
+
+func TestScorePairsKeepsAll(t *testing.T) {
+	c := mkCollection()
+	pairs := []blocking.Pair{{A: 0, B: 2}, {A: 0, B: 3}}
+	got := ScorePairs(c, pairs, JaccardMeasure(tokenize.Options{}))
+	if len(got) != 2 {
+		t.Fatalf("scored: %v", got)
+	}
+}
+
+func TestMatchPairsDistributedMatchesSequential(t *testing.T) {
+	c := mkCollection()
+	pairs := []blocking.Pair{{A: 0, B: 2}, {A: 0, B: 3}, {A: 1, B: 2}, {A: 1, B: 3}}
+	measure := JaccardMeasure(tokenize.Options{})
+	seq := MatchPairs(c, pairs, measure, 0.2)
+	ctx := dataflow.NewContext(dataflow.WithParallelism(3))
+	defer ctx.Close()
+	dist, err := MatchPairsDistributed(ctx, c, pairs, measure, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, dist) {
+		t.Fatalf("seq %v dist %v", seq, dist)
+	}
+}
+
+func TestEnsemble(t *testing.T) {
+	c := mkCollection()
+	m1 := func(a, b *profile.Profile) float64 { return 1 }
+	m2 := func(a, b *profile.Profile) float64 { return 0 }
+	e := Ensemble([]Measure{m1, m2}, nil)
+	if got := e(c.Get(0), c.Get(2)); !almostEqual(got, 0.5) {
+		t.Fatalf("uniform ensemble=%f", got)
+	}
+	w := Ensemble([]Measure{m1, m2}, []float64{3, 1})
+	if got := w(c.Get(0), c.Get(2)); !almostEqual(got, 0.75) {
+		t.Fatalf("weighted ensemble=%f", got)
+	}
+}
+
+func TestAttributeMeasure(t *testing.T) {
+	c := mkCollection()
+	m := AttributeMeasure("name", "name", LevenshteinSimilarity)
+	if got := m(c.Get(0), c.Get(2)); got <= 0.5 {
+		t.Fatalf("attribute measure=%f", got)
+	}
+}
+
+func TestTuneThresholdSeparable(t *testing.T) {
+	// Perfectly separable scores: the tuner must find a threshold with F1=1.
+	c := mkCollection()
+	labeled := []LabeledPair{
+		{Pair: blocking.Pair{A: 0, B: 2}, IsMatch: true},  // high similarity
+		{Pair: blocking.Pair{A: 0, B: 3}, IsMatch: false}, // zero similarity
+		{Pair: blocking.Pair{A: 1, B: 3}, IsMatch: false},
+	}
+	th, f1 := TuneThreshold(c, labeled, JaccardMeasure(tokenize.Options{}))
+	if f1 != 1 {
+		t.Fatalf("f1=%f th=%f", f1, th)
+	}
+	matches := MatchPairs(c, []blocking.Pair{{A: 0, B: 2}, {A: 0, B: 3}}, JaccardMeasure(tokenize.Options{}), th)
+	if len(matches) != 1 {
+		t.Fatalf("tuned threshold misclassifies: %v", matches)
+	}
+}
+
+func TestTuneThresholdNoPositives(t *testing.T) {
+	c := mkCollection()
+	th, f1 := TuneThreshold(c, []LabeledPair{{Pair: blocking.Pair{A: 0, B: 3}}}, JaccardMeasure(tokenize.Options{}))
+	if f1 != 0 || th != 0.5 {
+		t.Fatalf("degenerate tuning: th=%f f1=%f", th, f1)
+	}
+}
+
+func TestMongeElkanToleratesTypos(t *testing.T) {
+	a := []string{"acme", "turbo", "widget"}
+	b := []string{"acem", "turbo", "widgte"} // two typo'd tokens
+	jac := JaccardTokens(a, b)
+	me := MongeElkan(a, b, LevenshteinSimilarity)
+	if me <= jac {
+		t.Fatalf("MongeElkan %f must beat Jaccard %f on typos", me, jac)
+	}
+	if me < 0.7 {
+		t.Fatalf("MongeElkan %f too low for near-identical bags", me)
+	}
+	if MongeElkan(nil, b, LevenshteinSimilarity) != 0 {
+		t.Fatal("empty side must score 0")
+	}
+}
+
+func TestMongeElkanAsymmetric(t *testing.T) {
+	short := []string{"acme"}
+	long := []string{"acme", "x", "y", "z"}
+	fwd := MongeElkan(short, long, LevenshteinSimilarity)
+	back := MongeElkan(long, short, LevenshteinSimilarity)
+	if fwd != 1 {
+		t.Fatalf("subset side must score 1, got %f", fwd)
+	}
+	if back >= fwd {
+		t.Fatalf("asymmetry lost: %f vs %f", back, fwd)
+	}
+}
+
+func TestTrigramJaccard(t *testing.T) {
+	if got := TrigramJaccard("acme widget", "acme widget"); got != 1 {
+		t.Fatalf("identical: %f", got)
+	}
+	reordered := TrigramJaccard("widget acme", "acme widget")
+	if reordered < 0.5 {
+		t.Fatalf("reordered words score %f; 3-grams should mostly survive", reordered)
+	}
+	if got := TrigramJaccard("ab", "ab"); got != 0 {
+		t.Fatalf("too-short strings must score 0, got %f", got)
+	}
+}
+
+func TestProfileBag(t *testing.T) {
+	p := profile.Profile{}
+	p.Add("x", "alpha beta")
+	p.Add("y", "beta gamma")
+	bag := ProfileBag(&p, tokenize.Options{})
+	want := []string{"alpha", "beta", "beta", "gamma"}
+	if !reflect.DeepEqual(bag, want) {
+		t.Fatalf("bag=%v", bag)
+	}
+}

@@ -1,0 +1,104 @@
+package metablocking
+
+import (
+	"math"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/profile"
+)
+
+// TestExplainFigure2 reconstructs the Figure 2(c) decisions pair by pair.
+func TestExplainFigure2(t *testing.T) {
+	c := figureProfiles()
+	blocks := blocking.TokenBlocking(c, blocking.Options{Clustering: figure2Partitioning{}})
+	idx := blocking.BuildIndex(blocks)
+	opts := Options{Scheme: CBS, Pruning: WEP, Entropy: figure2Partitioning{}}
+
+	// p1-p3 share blast_1, blocking_1, simonini_2 → weight 1.6.
+	ex := Explain(idx, opts, 0, 2)
+	if len(ex.CommonBlocks) != 3 {
+		t.Fatalf("common blocks: %+v", ex.CommonBlocks)
+	}
+	if math.Abs(ex.Weight-1.6) > 1e-9 {
+		t.Fatalf("weight %f", ex.Weight)
+	}
+	keys := map[string]float64{}
+	for _, cb := range ex.CommonBlocks {
+		keys[cb.Key] = cb.Entropy
+	}
+	if keys["blast_1"] != 0.4 || keys["simonini_2"] != 0.8 || keys["blocking_1"] != 0.4 {
+		t.Fatalf("entropies: %v", keys)
+	}
+
+	// p1-p4 share only blast_1 → weight 0.4.
+	ex14 := Explain(idx, opts, 0, 3)
+	if len(ex14.CommonBlocks) != 1 || math.Abs(ex14.Weight-0.4) > 1e-9 {
+		t.Fatalf("p1-p4: %+v", ex14)
+	}
+}
+
+// TestExplainBlastDecision checks the node thresholds and retention flag
+// against the actual Run output.
+func TestExplainBlastDecision(t *testing.T) {
+	idx := testIndex(40, 31)
+	opts := Options{Scheme: JS, Pruning: BlastPruning}
+	retained := map[[2]profile.ID]bool{}
+	for _, e := range Run(idx, opts) {
+		retained[[2]profile.ID{e.A, e.B}] = true
+	}
+	g := newGraphContext(idx, opts)
+	checked := 0
+	forEachEdge(g, idx.ProfileIDs(), func(a, b profile.ID, _ float64) {
+		if checked >= 50 {
+			return
+		}
+		checked++
+		ex := Explain(idx, opts, a, b)
+		if ex.Retained != retained[[2]profile.ID{a, b}] {
+			t.Fatalf("pair (%d,%d): explanation says %v, Run says %v",
+				a, b, ex.Retained, retained[[2]profile.ID{a, b}])
+		}
+		if ex.Retained && ex.Weight < ex.ThresholdA && ex.Weight < ex.ThresholdB {
+			t.Fatalf("pair (%d,%d) retained below both thresholds: %+v", a, b, ex)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no edges checked")
+	}
+}
+
+func TestExplainUnrelatedPair(t *testing.T) {
+	idx := testIndex(20, 32)
+	// Find two profiles with no shared block.
+	ids := idx.ProfileIDs()
+	g := newGraphContext(idx, Options{Scheme: CBS})
+	acc := map[profile.ID]*edgeAccumulator{}
+	for _, a := range ids {
+		g.neighbourhood(a, acc)
+		for _, b := range ids {
+			if b <= a {
+				continue
+			}
+			if _, connected := acc[b]; !connected {
+				ex := Explain(idx, Options{Scheme: CBS, Pruning: WNP}, a, b)
+				if len(ex.CommonBlocks) != 0 || ex.Weight != 0 || ex.Retained {
+					t.Fatalf("unrelated pair explained as related: %+v", ex)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("graph is complete; no unrelated pair to test")
+}
+
+func TestExplainCanonicalisesOrder(t *testing.T) {
+	idx := testIndex(20, 33)
+	opts := Options{Scheme: CBS, Pruning: WNP}
+	ids := idx.ProfileIDs()
+	ex1 := Explain(idx, opts, ids[0], ids[1])
+	ex2 := Explain(idx, opts, ids[1], ids[0])
+	if ex1.A != ex2.A || ex1.B != ex2.B || ex1.Weight != ex2.Weight {
+		t.Fatalf("order changed the explanation: %+v vs %+v", ex1, ex2)
+	}
+}

@@ -1,0 +1,356 @@
+// Package metablocking restructures a block collection by pruning the
+// least promising comparisons, the core of SparkER's blocker. Profiles are
+// nodes of an implicit blocking graph; two nodes are connected when they
+// co-occur in at least one block; edges are weighted by co-occurrence
+// statistics (optionally scaled by attribute-cluster entropy, the Blast
+// [13] contribution); and a pruning rule drops edges below a global or
+// node-local threshold. The surviving edges are the candidate pairs handed
+// to the entity matcher.
+//
+// Three implementations share the same semantics: a sequential
+// node-centric one, a distributed broadcast-join one (the paper's parallel
+// algorithm: partition the nodes, broadcast the block index, materialise
+// one node neighbourhood at a time), and a naive distributed baseline that
+// materialises every edge through the shuffle, used to quantify what the
+// broadcast-join design saves.
+package metablocking
+
+import (
+	"math"
+	"sort"
+
+	"sparker/internal/blocking"
+	"sparker/internal/profile"
+)
+
+// Scheme selects the edge-weighting function [10].
+type Scheme int
+
+const (
+	// CBS (Common Blocks Scheme) counts the blocks two profiles share.
+	CBS Scheme = iota
+	// ECBS scales CBS by the rarity of each profile's block set.
+	ECBS
+	// JS is the Jaccard similarity of the two profiles' block sets.
+	JS
+	// EJS scales JS by the rarity of each profile's neighbourhood degree.
+	EJS
+	// ARCS sums the reciprocal comparison cardinality of shared blocks, so
+	// small (distinctive) blocks contribute more.
+	ARCS
+)
+
+// String names the scheme for reports.
+func (s Scheme) String() string {
+	switch s {
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	case ARCS:
+		return "ARCS"
+	}
+	return "unknown"
+}
+
+// Pruning selects the edge-pruning rule.
+type Pruning int
+
+const (
+	// WEP (Weighted Edge Pruning) keeps edges at or above the global mean
+	// weight; this is the rule Figure 1(c) illustrates.
+	WEP Pruning = iota
+	// CEP (Cardinality Edge Pruning) keeps the globally top-K edges.
+	CEP
+	// WNP (Weighted Node Pruning) keeps an edge if it reaches the local
+	// mean weight of either endpoint.
+	WNP
+	// ReciprocalWNP requires the edge to reach both endpoints' means.
+	ReciprocalWNP
+	// CNP (Cardinality Node Pruning) keeps an edge in the top-k of either
+	// endpoint.
+	CNP
+	// ReciprocalCNP requires the edge in the top-k of both endpoints.
+	ReciprocalCNP
+	// BlastPruning uses Blast's node threshold: half the maximum edge
+	// weight of the endpoint, kept if reached at either endpoint.
+	BlastPruning
+)
+
+// String names the pruning rule for reports.
+func (p Pruning) String() string {
+	switch p {
+	case WEP:
+		return "WEP"
+	case CEP:
+		return "CEP"
+	case WNP:
+		return "WNP"
+	case ReciprocalWNP:
+		return "WNP-reciprocal"
+	case CNP:
+		return "CNP"
+	case ReciprocalCNP:
+		return "CNP-reciprocal"
+	case BlastPruning:
+		return "Blast"
+	}
+	return "unknown"
+}
+
+// EntropyProvider supplies the entropy of the attribute cluster a block's
+// key belongs to. looseschema.Partitioning implements it.
+type EntropyProvider interface {
+	EntropyOf(cluster int) float64
+}
+
+// Options configures a meta-blocking run.
+type Options struct {
+	Scheme  Scheme
+	Pruning Pruning
+	// Entropy enables Blast's entropy re-weighting: every shared block
+	// contributes proportionally to its attribute-cluster entropy instead
+	// of uniformly. Nil disables it.
+	Entropy EntropyProvider
+	// TopK is the K of CEP or the per-node k of CNP; 0 derives the
+	// literature defaults (BC/2 for CEP, BC/|P| for CNP).
+	TopK int
+}
+
+// Edge is a retained comparison with its final weight.
+type Edge struct {
+	A, B   profile.ID // A < B
+	Weight float64
+}
+
+// edgeAccumulator gathers the per-pair statistics a weight scheme needs.
+type edgeAccumulator struct {
+	cbs        int32   // number of shared blocks
+	arcs       float64 // Σ 1/||b|| over shared blocks
+	entropySum float64 // Σ entropy(cluster(b)) over shared blocks
+	entArcs    float64 // Σ entropy/||b||
+}
+
+// graphContext caches everything the weighting functions need.
+type graphContext struct {
+	idx        *blocking.Index
+	numBlocks  float64
+	comparison []float64 // per block: comparison cardinality
+	entropy    []float64 // per block: cluster entropy (1 when disabled)
+	useEntropy bool
+	scheme     Scheme
+	// EJS support, filled lazily.
+	degrees    map[profile.ID]int
+	totalEdges float64
+}
+
+func newGraphContext(idx *blocking.Index, opts Options) *graphContext {
+	blocks := idx.Blocks.Blocks
+	g := &graphContext{
+		idx:        idx,
+		numBlocks:  float64(len(blocks)),
+		comparison: make([]float64, len(blocks)),
+		entropy:    make([]float64, len(blocks)),
+		useEntropy: opts.Entropy != nil,
+		scheme:     opts.Scheme,
+	}
+	for i := range blocks {
+		c := blocks[i].Comparisons()
+		if c < 1 {
+			c = 1
+		}
+		g.comparison[i] = float64(c)
+		if g.useEntropy {
+			g.entropy[i] = opts.Entropy.EntropyOf(blocks[i].ClusterID)
+		} else {
+			g.entropy[i] = 1
+		}
+	}
+	return g
+}
+
+// neighbourhood materialises the weighted neighbourhood of node id into
+// acc (cleared first). Pairs within the same source of a clean-clean task
+// are skipped.
+func (g *graphContext) neighbourhood(id profile.ID, acc map[profile.ID]*edgeAccumulator) {
+	for k := range acc {
+		delete(acc, k)
+	}
+	col := g.idx.Blocks
+	for _, bi := range g.idx.BlocksOf[id] {
+		b := &col.Blocks[bi]
+		visit := func(other profile.ID) {
+			if other == id {
+				return
+			}
+			a := acc[other]
+			if a == nil {
+				a = &edgeAccumulator{}
+				acc[other] = a
+			}
+			a.cbs++
+			a.arcs += 1 / g.comparison[bi]
+			a.entropySum += g.entropy[bi]
+			a.entArcs += g.entropy[bi] / g.comparison[bi]
+		}
+		if col.CleanClean {
+			if containsID(b.A, id) {
+				for _, o := range b.B {
+					visit(o)
+				}
+			} else {
+				for _, o := range b.A {
+					visit(o)
+				}
+			}
+		} else {
+			for _, o := range b.A {
+				visit(o)
+			}
+		}
+	}
+}
+
+// neighbourWeight is one weighted edge endpoint, used wherever weights
+// must be summed in a deterministic order: float addition is not
+// associative, and the sequential and distributed implementations must
+// produce bitwise-identical thresholds.
+type neighbourWeight struct {
+	id profile.ID
+	w  float64
+}
+
+// weightedNeighbours materialises the neighbourhood of id and returns its
+// weighted edges sorted by neighbour ID.
+func (g *graphContext) weightedNeighbours(id profile.ID, acc map[profile.ID]*edgeAccumulator) []neighbourWeight {
+	g.neighbourhood(id, acc)
+	out := make([]neighbourWeight, 0, len(acc))
+	for other, ea := range acc {
+		out = append(out, neighbourWeight{id: other, w: g.weight(id, other, ea)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func containsID(ids []profile.ID, id profile.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// weight computes the scheme weight of the edge (a, b) from its
+// accumulator. With entropy enabled, counting schemes replace each shared
+// block's unit contribution with the block's cluster entropy, and ratio
+// schemes are scaled by the mean entropy of the shared blocks — this is
+// the re-weighting Figure 2(c) shows.
+func (g *graphContext) weight(a, b profile.ID, acc *edgeAccumulator) float64 {
+	cbs := float64(acc.cbs)
+	if cbs == 0 {
+		return 0
+	}
+	meanEntropy := acc.entropySum / cbs
+	switch g.scheme {
+	case CBS:
+		if g.useEntropy {
+			return acc.entropySum
+		}
+		return cbs
+	case ECBS:
+		w := cbs * logRatio(g.numBlocks, float64(g.idx.NumBlocksOf(a))) *
+			logRatio(g.numBlocks, float64(g.idx.NumBlocksOf(b)))
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case JS:
+		union := float64(g.idx.NumBlocksOf(a)) + float64(g.idx.NumBlocksOf(b)) - cbs
+		if union <= 0 {
+			return 0
+		}
+		w := cbs / union
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case EJS:
+		union := float64(g.idx.NumBlocksOf(a)) + float64(g.idx.NumBlocksOf(b)) - cbs
+		if union <= 0 {
+			return 0
+		}
+		w := cbs / union
+		da, db := float64(g.degrees[a]), float64(g.degrees[b])
+		w *= logRatio(g.totalEdges, da) * logRatio(g.totalEdges, db)
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case ARCS:
+		if g.useEntropy {
+			return acc.entArcs
+		}
+		return acc.arcs
+	}
+	return 0
+}
+
+func logRatio(total, part float64) float64 {
+	if part <= 0 || total <= 0 {
+		return 0
+	}
+	v := math.Log10(total / part)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// needsDegrees reports whether the scheme requires the EJS degree pass.
+func needsDegrees(s Scheme) bool { return s == EJS }
+
+// computeDegrees fills g.degrees and g.totalEdges with the node degrees of
+// the full (unpruned) blocking graph.
+func (g *graphContext) computeDegrees(ids []profile.ID) {
+	g.degrees = make(map[profile.ID]int, len(ids))
+	acc := map[profile.ID]*edgeAccumulator{}
+	var total float64
+	for _, id := range ids {
+		g.neighbourhood(id, acc)
+		g.degrees[id] = len(acc)
+		total += float64(len(acc))
+	}
+	g.totalEdges = total / 2
+	if g.totalEdges < 1 {
+		g.totalEdges = 1
+	}
+}
+
+// defaultTopK derives the literature defaults for the cardinality rules.
+func defaultTopK(idx *blocking.Index, p Pruning) int {
+	assignments := idx.Blocks.TotalAssignments()
+	switch p {
+	case CEP:
+		k := int(assignments / 2)
+		if k < 1 {
+			k = 1
+		}
+		return k
+	case CNP, ReciprocalCNP:
+		n := len(idx.BlocksOf)
+		if n == 0 {
+			return 1
+		}
+		k := int(assignments) / n
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+	return 1
+}

@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSkipsEmptyValues(t *testing.T) {
+	var p Profile
+	p.Add("a", "  ")
+	p.Add("a", "")
+	p.Add("a", " x ")
+	if len(p.Attributes) != 1 || p.Attributes[0].Value != "x" {
+		t.Fatalf("attributes: %v", p.Attributes)
+	}
+}
+
+func TestValueReturnsFirst(t *testing.T) {
+	var p Profile
+	p.Add("k", "v1")
+	p.Add("k", "v2")
+	if got := p.Value("k"); got != "v1" {
+		t.Fatalf("got %q", got)
+	}
+	if got := p.Value("missing"); got != "" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAttributeNamesDistinctOrdered(t *testing.T) {
+	var p Profile
+	p.Add("b", "1")
+	p.Add("a", "2")
+	p.Add("b", "3")
+	if got := p.AttributeNames(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNewCleanCleanAssignsDenseIDs(t *testing.T) {
+	a := []Profile{{OriginalID: "a1"}, {OriginalID: "a2"}}
+	b := []Profile{{OriginalID: "b1"}}
+	c := NewCleanClean(a, b)
+	if c.Separator != 2 || !c.IsClean() {
+		t.Fatalf("separator=%d clean=%v", c.Separator, c.IsClean())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SourceOf(0) != 0 || c.SourceOf(2) != 1 {
+		t.Fatal("SourceOf wrong")
+	}
+	if c.SameSource(0, 1) != true || c.SameSource(0, 2) != false {
+		t.Fatal("SameSource wrong")
+	}
+}
+
+func TestNewDirty(t *testing.T) {
+	c := NewDirty([]Profile{{OriginalID: "x"}, {OriginalID: "y"}})
+	if c.IsClean() {
+		t.Fatal("dirty collection reports clean")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SameSource(0, 1) {
+		t.Fatal("dirty pairs are never same-source for ER purposes")
+	}
+}
+
+func TestMaxComparisons(t *testing.T) {
+	clean := NewCleanClean(make([]Profile, 3), make([]Profile, 4))
+	if got := clean.MaxComparisons(); got != 12 {
+		t.Fatalf("clean: %d", got)
+	}
+	dirty := NewDirty(make([]Profile, 5))
+	if got := dirty.MaxComparisons(); got != 10 {
+		t.Fatalf("dirty: %d", got)
+	}
+}
+
+func TestAttributeNamesQualified(t *testing.T) {
+	a := []Profile{{Attributes: []KeyValue{{Key: "name", Value: "x"}}}}
+	b := []Profile{{Attributes: []KeyValue{{Key: "name", Value: "y"}, {Key: "price", Value: "1"}}}}
+	c := NewCleanClean(a, b)
+	got := c.AttributeNames()
+	want := []string{"0:name", "1:name", "1:price"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestValidateCatchesBadIDs(t *testing.T) {
+	c := NewDirty([]Profile{{}, {}})
+	c.Profiles[1].ID = 7
+	if err := c.Validate(); err == nil {
+		t.Fatal("want error for non-dense IDs")
+	}
+}
+
+func TestStringIncludesAttributes(t *testing.T) {
+	var p Profile
+	p.OriginalID = "x9"
+	p.Add("name", "widget")
+	s := p.String()
+	if !strings.Contains(s, "x9") || !strings.Contains(s, `name="widget"`) {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestQuickCleanCleanSourcesConsistent(t *testing.T) {
+	f := func(na, nb uint8) bool {
+		a := make([]Profile, int(na)%50)
+		b := make([]Profile, int(nb)%50)
+		c := NewCleanClean(a, b)
+		if c.Validate() != nil {
+			return false
+		}
+		for i := range c.Profiles {
+			if c.Profiles[i].SourceID != c.SourceOf(ID(i)) {
+				return false
+			}
+		}
+		return c.Size() == len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

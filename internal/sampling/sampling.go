@@ -1,0 +1,203 @@
+// Package sampling implements the debug-sample selection of the paper's
+// Section 3 (following Magellan [9]): iterating on parameters over the
+// full dataset is too slow, so the tool works on a sample that still
+// contains both matching and non-matching profiles. K seed profiles are
+// drawn at random; for each seed, k/2 profiles that share many tokens with
+// it (likely matches) and k/2 random profiles are added.
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+// Options configures the debug sample.
+type Options struct {
+	// K is the number of seed profiles (default 20).
+	K int
+	// PerSeed is the per-seed budget k: k/2 token-sharing profiles plus
+	// k/2 random ones (default 10).
+	PerSeed int
+	// Seed drives the random choices.
+	Seed int64
+	// Tokenizer used for the token-overlap score.
+	Tokenizer tokenize.Options
+}
+
+// Sample is a down-sized collection plus the mapping back to the original
+// profile IDs.
+type Sample struct {
+	Collection *profile.Collection
+	// OriginalID[i] is the ID in the source collection of the sample's
+	// profile i.
+	OriginalID []profile.ID
+	// SampleID maps source-collection IDs to sample IDs.
+	SampleID map[profile.ID]profile.ID
+}
+
+// Build draws the debug sample. For clean-clean collections seeds come
+// from source A and likely matches are searched in source B (and vice
+// versa would be symmetric), so that the sample contains cross-source
+// match candidates; for dirty collections both come from the whole set.
+func Build(c *profile.Collection, opts Options) *Sample {
+	k := opts.K
+	if k <= 0 {
+		k = 20
+	}
+	perSeed := opts.PerSeed
+	if perSeed <= 0 {
+		perSeed = 10
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Token inverted index over the opposite side (or everything for
+	// dirty), to find profiles sharing many tokens with a seed.
+	tokenIndex := map[string][]profile.ID{}
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		if c.IsClean() && p.SourceID == 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, kv := range p.Attributes {
+			for _, t := range opts.Tokenizer.Tokens(kv.Value) {
+				if !seen[t] {
+					seen[t] = true
+					tokenIndex[t] = append(tokenIndex[t], p.ID)
+				}
+			}
+		}
+	}
+
+	seedPool := make([]profile.ID, 0, c.Size())
+	otherPool := make([]profile.ID, 0, c.Size())
+	for i := range c.Profiles {
+		id := profile.ID(i)
+		if c.IsClean() && c.Profiles[i].SourceID == 1 {
+			otherPool = append(otherPool, id)
+		} else {
+			seedPool = append(seedPool, id)
+			if !c.IsClean() {
+				otherPool = append(otherPool, id)
+			}
+		}
+	}
+	if len(seedPool) == 0 || len(otherPool) == 0 {
+		return emptySample(c)
+	}
+	if k > len(seedPool) {
+		k = len(seedPool)
+	}
+
+	selected := map[profile.ID]bool{}
+	var order []profile.ID
+	add := func(id profile.ID) {
+		if !selected[id] {
+			selected[id] = true
+			order = append(order, id)
+		}
+	}
+
+	seeds := rng.Perm(len(seedPool))[:k]
+	for _, si := range seeds {
+		seed := seedPool[si]
+		add(seed)
+		// k/2 most token-sharing profiles from the opposite pool.
+		overlap := map[profile.ID]int{}
+		seen := map[string]bool{}
+		sp := c.Get(seed)
+		for _, kv := range sp.Attributes {
+			for _, t := range opts.Tokenizer.Tokens(kv.Value) {
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				for _, other := range tokenIndex[t] {
+					if other != seed {
+						overlap[other]++
+					}
+				}
+			}
+		}
+		type cand struct {
+			id profile.ID
+			n  int
+		}
+		cands := make([]cand, 0, len(overlap))
+		for id, n := range overlap {
+			cands = append(cands, cand{id: id, n: n})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].n != cands[j].n {
+				return cands[i].n > cands[j].n
+			}
+			return cands[i].id < cands[j].id
+		})
+		for i := 0; i < len(cands) && i < perSeed/2; i++ {
+			add(cands[i].id)
+		}
+		// k/2 random profiles from the opposite pool.
+		for i := 0; i < perSeed/2; i++ {
+			add(otherPool[rng.Intn(len(otherPool))])
+		}
+	}
+
+	return assemble(c, order)
+}
+
+func emptySample(c *profile.Collection) *Sample {
+	sep := profile.DirtySeparator
+	if c.IsClean() {
+		sep = 0
+	}
+	return &Sample{
+		Collection: &profile.Collection{Separator: sep},
+		SampleID:   map[profile.ID]profile.ID{},
+	}
+}
+
+// assemble renumbers the selected profiles into a dense sub-collection,
+// preserving the clean-clean source split.
+func assemble(c *profile.Collection, ids []profile.ID) *Sample {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s := &Sample{SampleID: make(map[profile.ID]profile.ID, len(ids))}
+	var a, b []profile.Profile
+	for _, id := range ids {
+		p := *c.Get(id)
+		if c.IsClean() && p.SourceID == 1 {
+			b = append(b, p)
+		} else {
+			a = append(a, p)
+		}
+	}
+	if c.IsClean() {
+		s.Collection = profile.NewCleanClean(a, b)
+	} else {
+		s.Collection = profile.NewDirty(a)
+	}
+	// NewCleanClean reorders (A first) and renumbers, so rebuild the
+	// mapping through (source, original ID), which is stable.
+	lookup := make(map[[2]string]profile.ID, c.Size())
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		lookup[[2]string{itoa(p.SourceID), p.OriginalID}] = p.ID
+	}
+	s.OriginalID = make([]profile.ID, len(s.Collection.Profiles))
+	for i := range s.Collection.Profiles {
+		sp := &s.Collection.Profiles[i]
+		orig := lookup[[2]string{itoa(sp.SourceID), sp.OriginalID}]
+		s.OriginalID[i] = orig
+		s.SampleID[orig] = sp.ID
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	return "1"
+}

@@ -1,0 +1,149 @@
+package sampling
+
+import (
+	"reflect"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/datagen"
+	"sparker/internal/evaluation"
+	"sparker/internal/profile"
+)
+
+func abtBuySmall() *datagen.Dataset {
+	cfg := datagen.AbtBuy()
+	cfg.CoreEntities = 200
+	cfg.AOnly = 20
+	cfg.BDup = 10
+	return datagen.Generate(cfg)
+}
+
+func TestBuildProducesValidSubCollection(t *testing.T) {
+	ds := abtBuySmall()
+	s := Build(ds.Collection, Options{K: 10, PerSeed: 6, Seed: 1})
+	if err := s.Collection.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Collection.Size() == 0 {
+		t.Fatal("empty sample")
+	}
+	if s.Collection.Size() >= ds.Collection.Size() {
+		t.Fatal("sample not smaller than source")
+	}
+	if !s.Collection.IsClean() {
+		t.Fatal("clean-clean input must give a clean-clean sample")
+	}
+}
+
+func TestMappingRoundTrips(t *testing.T) {
+	ds := abtBuySmall()
+	s := Build(ds.Collection, Options{K: 8, PerSeed: 6, Seed: 2})
+	for i := range s.Collection.Profiles {
+		sp := &s.Collection.Profiles[i]
+		orig := s.OriginalID[i]
+		op := ds.Collection.Get(orig)
+		if op.OriginalID != sp.OriginalID || op.SourceID != sp.SourceID {
+			t.Fatalf("sample %d maps to wrong original: %v vs %v", i, sp, op)
+		}
+		if s.SampleID[orig] != sp.ID {
+			t.Fatalf("reverse mapping broken for %d", orig)
+		}
+	}
+}
+
+// TestSampleContainsMatches is the paper's requirement: a debug sample
+// must contain matching pairs, not just random profiles, otherwise
+// parameter tuning on it is meaningless.
+func TestSampleContainsMatches(t *testing.T) {
+	ds := abtBuySmall()
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(ds.Collection, Options{K: 20, PerSeed: 10, Seed: 3})
+
+	matches := 0
+	for _, p := range gt.Pairs() {
+		if _, okA := s.SampleID[p.A]; !okA {
+			continue
+		}
+		if _, okB := s.SampleID[p.B]; !okB {
+			continue
+		}
+		matches++
+	}
+	if matches < 5 {
+		t.Fatalf("sample contains only %d matching pairs", matches)
+	}
+	// And non-matches: sample size implies far more pairs than matches.
+	if int64(matches) >= s.Collection.MaxComparisons() {
+		t.Fatal("sample has no non-matching pairs")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	ds := abtBuySmall()
+	s1 := Build(ds.Collection, Options{K: 10, PerSeed: 6, Seed: 7})
+	s2 := Build(ds.Collection, Options{K: 10, PerSeed: 6, Seed: 7})
+	if !reflect.DeepEqual(s1.OriginalID, s2.OriginalID) {
+		t.Fatal("same seed, different samples")
+	}
+}
+
+func TestSampleSizeGrowsWithK(t *testing.T) {
+	ds := abtBuySmall()
+	small := Build(ds.Collection, Options{K: 5, PerSeed: 4, Seed: 4})
+	large := Build(ds.Collection, Options{K: 30, PerSeed: 10, Seed: 4})
+	if small.Collection.Size() >= large.Collection.Size() {
+		t.Fatalf("K=5 gave %d profiles, K=30 gave %d",
+			small.Collection.Size(), large.Collection.Size())
+	}
+}
+
+func TestSampleDirtyCollection(t *testing.T) {
+	ds := datagen.GenerateDirty(80, 5)
+	s := Build(ds.Collection, Options{K: 10, PerSeed: 6, Seed: 5})
+	if s.Collection.IsClean() {
+		t.Fatal("dirty input must give a dirty sample")
+	}
+	if err := s.Collection.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Collection.Size() == 0 {
+		t.Fatal("empty dirty sample")
+	}
+}
+
+func TestSampleGroundTruthUsable(t *testing.T) {
+	// Evaluating blocking on the sample must work end to end: remap the
+	// ground truth into sample IDs and measure recall.
+	ds := abtBuySmall()
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(ds.Collection, Options{K: 20, PerSeed: 10, Seed: 6})
+
+	var samplePairs []blocking.Pair
+	for _, p := range gt.Pairs() {
+		sa, okA := s.SampleID[p.A]
+		sb, okB := s.SampleID[p.B]
+		if okA && okB {
+			samplePairs = append(samplePairs, blocking.Pair{A: sa, B: sb})
+		}
+	}
+	sampleGT := evaluation.NewGroundTruth(samplePairs)
+	blocks := blocking.TokenBlocking(s.Collection, blocking.Options{})
+	m := evaluation.EvaluatePairs(blocks.DistinctPairs(), sampleGT, s.Collection.MaxComparisons())
+	if m.Recall < 0.9 {
+		t.Fatalf("sample blocking recall %f; sample must preserve matches' tokens", m.Recall)
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	c := profile.NewCleanClean(nil, nil)
+	s := Build(c, Options{K: 5, PerSeed: 4, Seed: 1})
+	if s.Collection.Size() != 0 {
+		t.Fatal("sample of empty collection must be empty")
+	}
+}

@@ -1,0 +1,122 @@
+// Package tokenize turns attribute values into the tokens used as
+// schema-agnostic blocking keys and as the vocabulary for LSH attribute
+// partitioning, entropy extraction, and similarity scoring.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Options configures tokenization.
+type Options struct {
+	// MinLength drops tokens shorter than this many runes (default 1).
+	MinLength int
+	// StopWords are dropped after normalisation. Nil uses DefaultStopWords;
+	// use an empty map to disable stop-word removal.
+	StopWords map[string]bool
+	// KeepNumbers keeps purely numeric tokens (default true behaviour is
+	// controlled by DropNumbers: zero value keeps them).
+	DropNumbers bool
+}
+
+// DefaultStopWords is a small English stop-word list; blocking keys built
+// from these would put half the collection in one block, which Block
+// Purging would then discard anyway.
+var DefaultStopWords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true, "in": true,
+	"is": true, "it": true, "its": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "to": true, "was": true, "were": true,
+	"will": true, "with": true,
+}
+
+// Default is the zero-configuration tokenizer used across the pipeline.
+var Default = Options{MinLength: 1}
+
+// Normalize lower-cases s and maps every non-alphanumeric rune to a space.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			b.WriteRune(' ')
+		}
+	}
+	return b.String()
+}
+
+// Tokens splits s into normalised tokens according to the options.
+func (o Options) Tokens(s string) []string {
+	stop := o.StopWords
+	if stop == nil {
+		stop = DefaultStopWords
+	}
+	minLen := o.MinLength
+	if minLen < 1 {
+		minLen = 1
+	}
+	fields := strings.Fields(Normalize(s))
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if len([]rune(f)) < minLen || stop[f] {
+			continue
+		}
+		if o.DropNumbers && isNumeric(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Tokens tokenizes with the default options.
+func Tokens(s string) []string { return Default.Tokens(s) }
+
+// TokenSet returns the distinct tokens of s (default options), preserving
+// first-seen order.
+func TokenSet(s string) []string { return UniqueTokens(Tokens(s)) }
+
+// UniqueTokens deduplicates a token slice, preserving first-seen order.
+func UniqueTokens(tokens []string) []string {
+	seen := make(map[string]bool, len(tokens))
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// NGrams returns the character n-grams of s after normalisation (spaces
+// removed), used by similarity measures that are robust to token-order
+// changes. Returns nil when the string is shorter than n runes.
+func NGrams(s string, n int) []string {
+	if n < 1 {
+		return nil
+	}
+	compact := strings.ReplaceAll(Normalize(s), " ", "")
+	runes := []rune(compact)
+	if len(runes) < n {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}

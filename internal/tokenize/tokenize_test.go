@@ -1,0 +1,131 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalizeLowersAndStripsPunctuation(t *testing.T) {
+	got := Normalize("Blast: loosely schema-blocking!")
+	want := "blast  loosely schema blocking "
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTokensDropStopWords(t *testing.T) {
+	got := Tokens("how to improve the meta-blocking")
+	want := []string{"how", "improve", "meta", "blocking"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokensMinLength(t *testing.T) {
+	o := Options{MinLength: 3}
+	got := o.Tokens("go is a fun language")
+	want := []string{"fun", "language"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokensDropNumbers(t *testing.T) {
+	o := Options{DropNumbers: true}
+	got := o.Tokens("model 2016 qx500")
+	want := []string{"model", "qx500"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokensCustomStopWords(t *testing.T) {
+	o := Options{StopWords: map[string]bool{"blast": true}}
+	got := o.Tokens("the blast paper")
+	want := []string{"the", "paper"} // default list disabled
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenSetDeduplicates(t *testing.T) {
+	got := TokenSet("spark spark SPARK data")
+	want := []string{"spark", "data"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUniqueTokensPreservesOrder(t *testing.T) {
+	got := UniqueTokens([]string{"b", "a", "b", "c", "a"})
+	want := []string{"b", "a", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("ab cd", 2)
+	want := []string{"ab", "bc", "cd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if NGrams("a", 2) != nil {
+		t.Fatal("short string must yield nil")
+	}
+	if NGrams("abc", 0) != nil {
+		t.Fatal("n<1 must yield nil")
+	}
+}
+
+func TestUnicodeHandling(t *testing.T) {
+	got := Tokens("Modèna Ünïversity")
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuickTokensAreNormalized(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokens(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Lower-cased output is a fixed point of ToLower. (Some
+				// uppercase letters, e.g. mathematical alphanumerics, have
+				// no lowercase mapping and pass through unchanged.)
+				if unicode.ToLower(r) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokens(s)
+		var rejoined string
+		for i, tok := range once {
+			if i > 0 {
+				rejoined += " "
+			}
+			rejoined += tok
+		}
+		twice := Tokens(rejoined)
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

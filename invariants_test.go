@@ -1,0 +1,183 @@
+package sparker_test
+
+// Cross-module invariant tests: properties that must hold across the
+// whole pipeline regardless of configuration, checked on generated data
+// with testing/quick-style seed variation.
+
+import (
+	"testing"
+
+	"sparker"
+	"sparker/internal/blocking"
+	"sparker/internal/datagen"
+	"sparker/internal/evaluation"
+	"sparker/internal/looseschema"
+	"sparker/internal/metablocking"
+)
+
+func seededDataset(t *testing.T, seed int64) (*sparker.Collection, *sparker.GroundTruth) {
+	t.Helper()
+	cfg := datagen.AbtBuy()
+	cfg.CoreEntities = 80
+	cfg.AOnly = 8
+	cfg.BDup = 6
+	cfg.Seed = seed
+	ds := datagen.Generate(cfg)
+	gt, err := evaluation.FromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Collection, gt
+}
+
+// TestInvariantEveryCandidateSharesAKey: every pair the blocker emits
+// must actually share at least one blocking key — blocking never invents
+// comparisons.
+func TestInvariantEveryCandidateSharesAKey(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c, _ := seededDataset(t, seed)
+		opts := sparker.BlockingOptions{}
+		blocks := sparker.TokenBlocking(c, opts)
+		pairs := blocks.DistinctPairs()
+		for i, p := range pairs {
+			if i == 200 {
+				break
+			}
+			if len(sparker.SharedBlockingKeys(c, opts, p.A, p.B)) == 0 {
+				t.Fatalf("seed %d: pair %v shares no key", seed, p)
+			}
+		}
+	}
+}
+
+// TestInvariantMetaBlockingIsSubset: meta-blocking only removes
+// comparisons; its candidates are a subset of the block-implied pairs.
+func TestInvariantMetaBlockingIsSubset(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c, _ := seededDataset(t, seed)
+		blocks := sparker.TokenBlocking(c, sparker.BlockingOptions{})
+		filtered := sparker.FilterBlocks(sparker.PurgeBlocks(blocks, 0.5), 0.8)
+		implied := map[blocking.Pair]bool{}
+		for _, p := range filtered.DistinctPairs() {
+			implied[p.Canonical()] = true
+		}
+		idx := sparker.BuildBlockIndex(filtered)
+		for _, pruning := range []metablocking.Pruning{metablocking.WEP, metablocking.BlastPruning, metablocking.CNP} {
+			edges := sparker.RunMetaBlocking(idx, sparker.MetaBlockingOptions{Scheme: sparker.CBS, Pruning: pruning})
+			for _, e := range edges {
+				if !implied[(blocking.Pair{A: e.A, B: e.B}).Canonical()] {
+					t.Fatalf("seed %d %v: edge (%d,%d) not implied by any block", seed, pruning, e.A, e.B)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantCleanCleanNoSameSourcePairs: in clean-clean tasks no
+// candidate pair may come from a single source.
+func TestInvariantCleanCleanNoSameSourcePairs(t *testing.T) {
+	c, _ := seededDataset(t, 5)
+	res, err := sparker.Resolve(c, sparker.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Blocker.Candidates {
+		if c.SameSource(p.A, p.B) {
+			t.Fatalf("same-source candidate %v", p)
+		}
+	}
+	for _, m := range res.Matches {
+		if c.SameSource(m.A, m.B) {
+			t.Fatalf("same-source match %v", m)
+		}
+	}
+}
+
+// TestInvariantEntitiesPartitionMatchedProfiles: entities never overlap
+// and cover exactly the matched profiles (for connected components).
+func TestInvariantEntitiesPartitionMatchedProfiles(t *testing.T) {
+	c, _ := seededDataset(t, 7)
+	res, err := sparker.Resolve(c, sparker.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := map[sparker.ProfileID]bool{}
+	for _, m := range res.Matches {
+		matched[m.A] = true
+		matched[m.B] = true
+	}
+	seen := map[sparker.ProfileID]bool{}
+	for _, e := range res.Entities {
+		for _, id := range e.Profiles {
+			if seen[id] {
+				t.Fatalf("profile %d in two entities", id)
+			}
+			seen[id] = true
+			if !matched[id] {
+				t.Fatalf("profile %d clustered without a match", id)
+			}
+		}
+	}
+	if len(seen) != len(matched) {
+		t.Fatalf("entities cover %d profiles, matches touch %d", len(seen), len(matched))
+	}
+}
+
+// TestInvariantThresholdMonotone: raising the match threshold never adds
+// matches.
+func TestInvariantThresholdMonotone(t *testing.T) {
+	c, _ := seededDataset(t, 9)
+	blocker, err := sparker.NewPipeline(sparker.DefaultConfig(), nil).RunBlocker(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := sparker.JaccardMeasure(sparker.TokenizerOptions{})
+	prev := -1
+	for _, th := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		n := len(sparker.MatchPairs(c, blocker.Candidates, measure, th))
+		if prev >= 0 && n > prev {
+			t.Fatalf("threshold %.1f yields %d matches > %d at the lower threshold", th, n, prev)
+		}
+		prev = n
+	}
+}
+
+// TestInvariantEntropyNeverNegative: cluster entropies are non-negative
+// and the blob of an all-clustered collection stays empty.
+func TestInvariantEntropyNeverNegative(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		c, _ := seededDataset(t, seed)
+		for _, th := range []float64{0.15, 0.3, 0.6, 1.0} {
+			part := looseschema.Partition(c, looseschema.Options{Threshold: th})
+			for k := range part.Clusters {
+				if part.EntropyOf(k) < 0 {
+					t.Fatalf("seed %d th %.2f: negative entropy in cluster %d", seed, th, k)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantProgressivePrefixRecallDominates: for best-first
+// scheduling, recall at a larger budget never drops (prefix property).
+func TestInvariantProgressivePrefixRecallDominates(t *testing.T) {
+	c, gt := seededDataset(t, 11)
+	blocks := sparker.TokenBlocking(c, sparker.BlockingOptions{})
+	filtered := sparker.FilterBlocks(sparker.PurgeBlocks(blocks, 0.5), 0.8)
+	idx := sparker.BuildBlockIndex(filtered)
+	full := sparker.ScheduleComparisons(idx, sparker.MetaBlockingOptions{Scheme: sparker.ARCS}, sparker.ScheduleProfiles, 0)
+	prevFound := 0
+	for _, frac := range []int{10, 25, 50, 100} {
+		budget := len(full) * frac / 100
+		found := 0
+		for _, e := range full[:budget] {
+			if gt.Contains(sparker.CandidatePair{A: e.A, B: e.B}) {
+				found++
+			}
+		}
+		if found < prevFound {
+			t.Fatalf("recall dropped with a larger budget: %d < %d", found, prevFound)
+		}
+		prevFound = found
+	}
+}

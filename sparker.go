@@ -1,0 +1,229 @@
+// Package sparker is a Go reproduction of SparkER (EDBT 2019), an entity
+// resolution tool designed for distributed execution. It covers the full
+// ER stack of the paper: schema-agnostic and loose-schema (Blast)
+// meta-blocking, entity matching, and entity clustering, running either
+// sequentially or on an embedded mini-Spark dataflow engine with a
+// configurable number of simulated executors.
+//
+// Quick start:
+//
+//	a, _ := sparker.ReadProfilesCSVFile("abt.csv", "id")
+//	b, _ := sparker.ReadProfilesCSVFile("buy.csv", "id")
+//	collection := sparker.NewCleanClean(a, b)
+//
+//	result, err := sparker.Resolve(collection, sparker.DefaultConfig())
+//	if err != nil { ... }
+//	for _, entity := range result.Entities { ... }
+//
+// To run distributed, attach a cluster:
+//
+//	cluster := sparker.NewCluster(8)
+//	defer cluster.Close()
+//	pipeline := sparker.NewPipeline(cfg, cluster)
+//	result, err := pipeline.Resolve(collection)
+//
+// The package re-exports the building blocks (blocker, matcher,
+// clusterer, evaluation, sampling) so each stage can also be driven
+// separately, which is what the process-debugging workflow of the paper
+// does.
+package sparker
+
+import (
+	"sparker/internal/blocking"
+	"sparker/internal/clustering"
+	"sparker/internal/core"
+	"sparker/internal/dataflow"
+	"sparker/internal/datagen"
+	"sparker/internal/evaluation"
+	"sparker/internal/loader"
+	"sparker/internal/looseschema"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+	"sparker/internal/sampling"
+)
+
+// Data model.
+type (
+	// Profile is one record to resolve.
+	Profile = profile.Profile
+	// KeyValue is one attribute of a profile.
+	KeyValue = profile.KeyValue
+	// Collection is the input of an ER task.
+	Collection = profile.Collection
+	// ProfileID is the dense internal profile identifier.
+	ProfileID = profile.ID
+)
+
+// NewCleanClean merges two duplicate-free sources into a collection.
+func NewCleanClean(a, b []Profile) *Collection { return profile.NewCleanClean(a, b) }
+
+// NewDirty wraps a single dataset with internal duplicates.
+func NewDirty(ps []Profile) *Collection { return profile.NewDirty(ps) }
+
+// Pipeline configuration.
+type (
+	// Config holds every tunable of the pipeline.
+	Config = core.Config
+	// Pipeline executes the configured ER stack.
+	Pipeline = core.Pipeline
+	// Result is the full pipeline output.
+	Result = core.Result
+	// BlockerResult carries the blocker's intermediate artifacts.
+	BlockerResult = core.BlockerResult
+	// StepReport is a per-stage quality row.
+	StepReport = core.StepReport
+)
+
+// Measure kinds.
+const (
+	MeasureJaccard     = core.MeasureJaccard
+	MeasureDice        = core.MeasureDice
+	MeasureCosineTFIDF = core.MeasureCosineTFIDF
+)
+
+// Clusterer kinds.
+const (
+	ClusterConnectedComponents = core.ClusterConnectedComponents
+	ClusterCenter              = core.ClusterCenter
+	ClusterMergeCenter         = core.ClusterMergeCenter
+	ClusterUniqueMapping       = core.ClusterUniqueMapping
+)
+
+// DefaultConfig is the unsupervised mode: loose-schema meta-blocking with
+// entropy, Jaccard matching, connected components.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SchemaAgnosticConfig is the schema-agnostic baseline of Figure 1.
+func SchemaAgnosticConfig() Config { return core.SchemaAgnosticConfig() }
+
+// NewPipeline builds a pipeline; pass a nil cluster for sequential
+// execution.
+func NewPipeline(cfg Config, cluster *Cluster) *Pipeline { return core.NewPipeline(cfg, cluster) }
+
+// Resolve runs the whole stack sequentially with the given configuration.
+func Resolve(c *Collection, cfg Config) (*Result, error) {
+	return core.NewPipeline(cfg, nil).Resolve(c)
+}
+
+// Cluster is the embedded dataflow engine (the Spark stand-in).
+type Cluster = dataflow.Context
+
+// ClusterMetrics is a snapshot of engine counters (tasks, shuffles, ...).
+type ClusterMetrics = dataflow.MetricsSnapshot
+
+// NewCluster starts a simulated cluster with the given executor count.
+func NewCluster(executors int) *Cluster {
+	return dataflow.NewContext(dataflow.WithParallelism(executors))
+}
+
+// Blocking and meta-blocking building blocks.
+type (
+	// Block is one blocking-key bucket.
+	Block = blocking.Block
+	// BlockCollection is an ordered set of blocks.
+	BlockCollection = blocking.Collection
+	// CandidatePair is an unordered candidate comparison.
+	CandidatePair = blocking.Pair
+	// MetaBlockingEdge is a retained comparison with its weight.
+	MetaBlockingEdge = metablocking.Edge
+	// Partitioning is the loose-schema attribute clustering.
+	Partitioning = looseschema.Partitioning
+)
+
+// Weight schemes.
+const (
+	CBS  = metablocking.CBS
+	ECBS = metablocking.ECBS
+	JS   = metablocking.JS
+	EJS  = metablocking.EJS
+	ARCS = metablocking.ARCS
+)
+
+// Pruning strategies.
+const (
+	WEP           = metablocking.WEP
+	CEP           = metablocking.CEP
+	WNP           = metablocking.WNP
+	ReciprocalWNP = metablocking.ReciprocalWNP
+	CNP           = metablocking.CNP
+	ReciprocalCNP = metablocking.ReciprocalCNP
+	BlastPruning  = metablocking.BlastPruning
+)
+
+// Matching and clustering.
+type (
+	// Match is a pair labelled as matching, with its score.
+	Match = matching.Match
+	// Entity is one resolved real-world entity.
+	Entity = clustering.Entity
+)
+
+// Evaluation.
+type (
+	// GroundTruth is the set of true matching pairs.
+	GroundTruth = evaluation.GroundTruth
+	// Metrics are recall / precision / F1 / reduction-ratio numbers.
+	Metrics = evaluation.Metrics
+)
+
+// NewGroundTruth builds a ground truth from canonical internal-ID pairs.
+func NewGroundTruth(pairs []CandidatePair) *GroundTruth {
+	return evaluation.NewGroundTruth(pairs)
+}
+
+// NewGroundTruthFromOriginalIDs resolves (originalID, originalID) pairs
+// against the collection.
+func NewGroundTruthFromOriginalIDs(c *Collection, pairs [][2]string) (*GroundTruth, error) {
+	return evaluation.FromOriginalIDs(c, pairs)
+}
+
+// EvaluatePairs scores a candidate-pair set against a ground truth.
+func EvaluatePairs(candidates []CandidatePair, gt *GroundTruth, maxComparisons int64) Metrics {
+	return evaluation.EvaluatePairs(candidates, gt, maxComparisons)
+}
+
+// LostPairs lists ground-truth pairs missing from the candidate set.
+func LostPairs(candidates []CandidatePair, gt *GroundTruth) []CandidatePair {
+	return evaluation.LostPairs(candidates, gt)
+}
+
+// evaluationSharedKeys adapts evaluation.SharedKeys for the step API.
+func evaluationSharedKeys(c *Collection, opts blocking.Options, a, b ProfileID) []string {
+	return evaluation.SharedKeys(c, opts, a, b)
+}
+
+// Sampling (Section 3 debug workflow).
+type (
+	// DebugSample is a representative sub-collection for fast tuning.
+	DebugSample = sampling.Sample
+	// SampleOptions configures debug sampling.
+	SampleOptions = sampling.Options
+)
+
+// BuildDebugSample draws the Magellan-style debug sample.
+func BuildDebugSample(c *Collection, opts SampleOptions) *DebugSample {
+	return sampling.Build(c, opts)
+}
+
+// IO.
+var (
+	// ReadProfilesCSVFile parses one source dataset from a CSV file.
+	ReadProfilesCSVFile = loader.ReadProfilesCSVFile
+	// ReadGroundTruthCSVFile parses a two-column ground-truth CSV file.
+	ReadGroundTruthCSVFile = loader.ReadGroundTruthCSVFile
+)
+
+// Synthetic benchmark.
+type (
+	// BenchmarkConfig sizes the generated SynthAbtBuy benchmark.
+	BenchmarkConfig = datagen.Config
+	// BenchmarkDataset is a generated collection plus its ground truth.
+	BenchmarkDataset = datagen.Dataset
+)
+
+// AbtBuyConfig mirrors the Abt-Buy dataset sizes used in the demo.
+func AbtBuyConfig() BenchmarkConfig { return datagen.AbtBuy() }
+
+// GenerateBenchmark builds the synthetic clean-clean benchmark.
+func GenerateBenchmark(cfg BenchmarkConfig) *BenchmarkDataset { return datagen.Generate(cfg) }

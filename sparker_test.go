@@ -1,0 +1,216 @@
+package sparker_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparker"
+)
+
+func benchmarkDataset(t *testing.T) (*sparker.Collection, *sparker.GroundTruth) {
+	t.Helper()
+	cfg := sparker.AbtBuyConfig()
+	cfg.CoreEntities = 120
+	cfg.AOnly = 10
+	cfg.BDup = 8
+	ds := sparker.GenerateBenchmark(cfg)
+	gt, err := sparker.NewGroundTruthFromOriginalIDs(ds.Collection, ds.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Collection, gt
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	collection, gt := benchmarkDataset(t)
+	result, err := sparker.Resolve(collection, sparker.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Entities) == 0 {
+		t.Fatal("no entities")
+	}
+	m := sparker.EvaluatePairs(result.Blocker.Candidates, gt, collection.MaxComparisons())
+	if m.Recall < 0.85 {
+		t.Fatalf("blocking recall %f", m.Recall)
+	}
+}
+
+func TestPublicAPIDistributed(t *testing.T) {
+	collection, _ := benchmarkDataset(t)
+	cluster := sparker.NewCluster(4)
+	defer cluster.Close()
+	pipeline := sparker.NewPipeline(sparker.DefaultConfig(), cluster)
+	result, err := pipeline.Resolve(collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Entities) == 0 {
+		t.Fatal("no entities")
+	}
+	if cluster.Metrics().TasksLaunched == 0 {
+		t.Fatal("distributed pipeline launched no tasks")
+	}
+}
+
+func TestPublicAPIStepByStep(t *testing.T) {
+	collection, gt := benchmarkDataset(t)
+
+	part := sparker.PartitionAttributes(collection, sparker.LooseSchemaOptions{Threshold: 0.3})
+	if part.NumClusters() < 2 {
+		t.Fatalf("clusters: %d", part.NumClusters())
+	}
+	blocks := sparker.TokenBlocking(collection, sparker.BlockingOptions{Clustering: part})
+	filtered := sparker.FilterBlocks(sparker.PurgeBlocks(blocks, 0.5), 0.8)
+	idx := sparker.BuildBlockIndex(filtered)
+	edges := sparker.RunMetaBlocking(idx, sparker.MetaBlockingOptions{
+		Scheme: sparker.CBS, Pruning: sparker.BlastPruning, Entropy: part,
+	})
+	pairs := sparker.EdgesToPairs(edges)
+	if len(pairs) == 0 {
+		t.Fatal("no candidates")
+	}
+	matches := sparker.MatchPairs(collection, pairs, sparker.JaccardMeasure(sparker.TokenizerOptions{}), 0.3)
+	entities := sparker.ConnectedComponents(matches)
+	if len(entities) == 0 {
+		t.Fatal("no entities")
+	}
+	_ = gt
+}
+
+func TestPublicAPILostPairDrillDown(t *testing.T) {
+	collection, gt := benchmarkDataset(t)
+	cfg := sparker.DefaultConfig()
+	result, err := sparker.Resolve(collection, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := sparker.LostPairs(result.Blocker.Candidates, gt)
+	opts := result.Blocker.BlockingOptions(cfg)
+	for i, p := range lost {
+		if i == 5 {
+			break
+		}
+		// Every lost pair must be explainable: either no shared keys at
+		// all or keys that purging/filtering/pruning removed.
+		_ = sparker.SharedBlockingKeys(collection, opts, p.A, p.B)
+	}
+}
+
+func TestCSVRoundTripThroughPipeline(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	aPath := writeFile("a.csv", "id,name,price\n1,acme turbo widget,9.99\n2,zenix gadget pro,19.99\n")
+	bPath := writeFile("b.csv", "id,title,cost\n10,acme turbo widget deluxe,9.99\n11,unrelated thing,5.00\n")
+
+	a, err := sparker.ReadProfilesCSVFile(aPath, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparker.ReadProfilesCSVFile(bPath, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	collection := sparker.NewCleanClean(a, b)
+
+	cfg := sparker.DefaultConfig()
+	cfg.LooseSchema = false
+	cfg.UseEntropy = false
+	cfg.Pruning = sparker.WEP
+	result, err := sparker.Resolve(collection, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range result.Matches {
+		if collection.Get(m.A).OriginalID == "1" && collection.Get(m.B).OriginalID == "10" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected 1<->10 match, got %v", result.Matches)
+	}
+}
+
+func TestDebugSampleAPI(t *testing.T) {
+	collection, _ := benchmarkDataset(t)
+	s := sparker.BuildDebugSample(collection, sparker.SampleOptions{K: 10, PerSeed: 6, Seed: 3})
+	if s.Collection.Size() == 0 || s.Collection.Size() >= collection.Size() {
+		t.Fatalf("sample size %d", s.Collection.Size())
+	}
+}
+
+func TestSupervisedTuningAPI(t *testing.T) {
+	collection, gt := benchmarkDataset(t)
+	cfg := sparker.DefaultConfig()
+	result, err := sparker.NewPipeline(cfg, nil).RunBlocker(collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labeled []sparker.LabeledPair
+	for _, p := range result.Candidates {
+		labeled = append(labeled, sparker.LabeledPair{Pair: p, IsMatch: gt.Contains(p)})
+	}
+	th, f1 := sparker.TuneThreshold(collection, labeled, sparker.JaccardMeasure(sparker.TokenizerOptions{}))
+	if th <= 0 || th > 1 {
+		t.Fatalf("threshold %f", th)
+	}
+	if f1 < 0.5 {
+		t.Fatalf("tuned sample F1 %f", f1)
+	}
+}
+
+func TestManualPartitionEditAPI(t *testing.T) {
+	collection, gt := benchmarkDataset(t)
+	part := sparker.PartitionAttributes(collection, sparker.LooseSchemaOptions{Threshold: 0.3})
+	edited := part.Clone()
+	nc := edited.NewCluster()
+	if err := edited.MoveAttribute("0:description", nc); err != nil {
+		t.Fatal(err)
+	}
+	if err := edited.MoveAttribute("1:short_descr", nc); err != nil {
+		t.Fatal(err)
+	}
+	sparker.RecomputeEntropies(edited, sparker.ExtractAttributeProfiles(collection, sparker.TokenizerOptions{}))
+
+	autoBlocks := sparker.PurgeBlocks(sparker.TokenBlocking(collection, sparker.BlockingOptions{Clustering: part}), 0.5)
+	editBlocks := sparker.PurgeBlocks(sparker.TokenBlocking(collection, sparker.BlockingOptions{Clustering: edited}), 0.5)
+	lostAuto := len(sparker.LostPairs(autoBlocks.DistinctPairs(), gt))
+	lostEdit := len(sparker.LostPairs(editBlocks.DistinctPairs(), gt))
+	if lostEdit <= lostAuto {
+		t.Fatalf("split should lose pairs: auto=%d edit=%d", lostAuto, lostEdit)
+	}
+}
+
+func TestGroundTruthFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.csv")
+	if err := os.WriteFile(path, []byte("idA,idB\nx,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := sparker.ReadGroundTruthCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != [2]string{"x", "y"} {
+		t.Fatalf("pairs: %v", pairs)
+	}
+}
+
+func TestConfigStringsExported(t *testing.T) {
+	// The re-exported enum constants must render useful names in reports.
+	if !strings.Contains(sparker.CBS.String(), "CBS") {
+		t.Fatal("scheme name")
+	}
+	if sparker.BlastPruning.String() != "Blast" {
+		t.Fatal("pruning name")
+	}
+}
