@@ -12,6 +12,7 @@ package sparker_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sparker"
@@ -20,9 +21,11 @@ import (
 	"sparker/internal/dataflow"
 	"sparker/internal/datagen"
 	"sparker/internal/experiments"
+	"sparker/internal/index"
 	"sparker/internal/looseschema"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
+	"sparker/internal/profile"
 	"sparker/internal/tokenize"
 )
 
@@ -316,6 +319,81 @@ func BenchmarkConnectedComponents(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clustering.ConnectedComponents(matches)
+	}
+}
+
+// --- online index benchmarks (the serving workload) ---
+
+var (
+	idxBenchOnce sync.Once
+	idxBenchCol  *profile.Collection
+)
+
+// indexBenchCollection memoises a ~10k-profile synthetic collection for
+// the serving benchmarks.
+func indexBenchCollection(b *testing.B) *profile.Collection {
+	b.Helper()
+	idxBenchOnce.Do(func() {
+		cfg := datagen.AbtBuy()
+		cfg.CoreEntities = 4500
+		cfg.AOnly = 400
+		cfg.BDup = 400
+		idxBenchCol = datagen.Generate(cfg).Collection
+	})
+	return idxBenchCol
+}
+
+// BenchmarkIndexQuery times concurrent point lookups against the online
+// index per shard count. The reported comparisons/op and postings/op
+// metrics show the per-query work staying bounded by the candidate
+// blocks, orders of magnitude below the collection size.
+func BenchmarkIndexQuery(b *testing.B) {
+	c := indexBenchCollection(b)
+	for _, shards := range []int{1, 4, 16} {
+		cfg := index.DefaultConfig()
+		cfg.Shards = shards
+		idx, err := index.NewFromCollection(c, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			var comparisons, postings, next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % c.Size()
+					r := idx.Resolve(c.Get(profile.ID(i)))
+					comparisons.Add(int64(r.Comparisons))
+					postings.Add(int64(r.Query.PostingsScanned))
+				}
+			})
+			b.ReportMetric(float64(comparisons.Load())/float64(b.N), "comparisons/op")
+			b.ReportMetric(float64(postings.Load())/float64(b.N), "postings/op")
+		})
+	}
+}
+
+// BenchmarkIndexUpsert times incremental replacement upserts (constant
+// index size) per shard count.
+func BenchmarkIndexUpsert(b *testing.B) {
+	c := indexBenchCollection(b)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			cfg := index.DefaultConfig()
+			cfg.Shards = shards
+			idx, err := index.NewFromCollection(c, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Same (source, original ID): exercises the replace path,
+				// keeping the index size constant across iterations.
+				if _, _, err := idx.Upsert(c.Profiles[i%c.Size()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

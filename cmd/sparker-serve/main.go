@@ -1,0 +1,153 @@
+// Command sparker-serve exposes an online entity index over HTTP: build
+// the index once from CSV sources (or the generated benchmark), then
+// answer point queries and incremental upserts without re-running the
+// batch pipeline.
+//
+// Two clean-clean CSV sources:
+//
+//	sparker-serve -a abt.csv -b buy.csv -id id -addr :8080
+//
+// A single dirty source:
+//
+//	sparker-serve -dirty products.csv -id id
+//
+// No inputs: serve the generated SynthAbtBuy benchmark:
+//
+//	sparker-serve -generate
+//
+// Endpoints: POST /query, POST /upsert, POST /bulk (JSON-lines bodies,
+// "id" field plus attributes; ?source=1 targets the second clean source),
+// GET /stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"sparker/internal/datagen"
+	"sparker/internal/index"
+	"sparker/internal/loader"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+	"sparker/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sparker-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		fileA    = flag.String("a", "", "CSV file of the first clean source")
+		fileB    = flag.String("b", "", "CSV file of the second clean source")
+		dirty    = flag.String("dirty", "", "CSV file of a single dirty source")
+		idCol    = flag.String("id", "id", "identifier column name")
+		generate = flag.Bool("generate", false, "serve the generated SynthAbtBuy benchmark")
+
+		shards    = flag.Int("shards", 16, "index shard count")
+		scheme    = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
+		prune     = flag.String("prune", "top-k", "candidate pruning rule (mean, top-k, none)")
+		topK      = flag.Int("k", 10, "candidates kept by top-k pruning")
+		measure   = flag.String("measure", "jaccard", "match measure (jaccard, dice)")
+		threshold = flag.Float64("threshold", 0.3, "match threshold (negative keeps every scored candidate)")
+	)
+	flag.Parse()
+
+	// Validate at the flag layer: Config treats zero as "unset", so an
+	// explicit 0 here would be silently replaced by a default.
+	if *shards <= 0 {
+		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	}
+	if *topK <= 0 {
+		return fmt.Errorf("-k must be positive, got %d", *topK)
+	}
+
+	cfg := index.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.MaxCandidates = *topK
+	cfg.MatchThreshold = *threshold
+	if *threshold == 0 {
+		cfg.MatchThreshold = -1 // keep everything scoring >= 0, as asked
+	}
+	switch *scheme {
+	case "CBS":
+		cfg.Scheme = metablocking.CBS
+	case "ECBS":
+		cfg.Scheme = metablocking.ECBS
+	case "JS":
+		cfg.Scheme = metablocking.JS
+	case "ARCS":
+		cfg.Scheme = metablocking.ARCS
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	switch *prune {
+	case "mean":
+		cfg.Prune = index.PruneMean
+	case "top-k":
+		cfg.Prune = index.PruneTopK
+	case "none":
+		cfg.Prune = index.PruneNone
+	default:
+		return fmt.Errorf("unknown pruning rule %q", *prune)
+	}
+	switch *measure {
+	case "jaccard":
+		cfg.Measure = matching.JaccardMeasure(cfg.Tokenizer)
+	case "dice":
+		cfg.Measure = matching.DiceMeasure(cfg.Tokenizer)
+	default:
+		return fmt.Errorf("unknown measure %q", *measure)
+	}
+
+	c, err := loadCollection(*fileA, *fileB, *dirty, *idCol, *generate)
+	if err != nil {
+		return err
+	}
+
+	idx, err := index.NewFromCollection(c, cfg)
+	if err != nil {
+		return err
+	}
+	snap := idx.Snapshot()
+	log.Printf("indexed %d profiles into %d blocks across %d shards (max block %d)",
+		snap.Profiles, snap.Blocks, snap.Shards, snap.MaxBlockSize)
+	log.Printf("listening on %s", *addr)
+	return http.ListenAndServe(*addr, serve.NewHandler(idx))
+}
+
+// loadCollection assembles the startup collection from the flags; with no
+// inputs it serves an empty clean-clean index ready for /bulk loads.
+func loadCollection(fileA, fileB, dirty, idCol string, generate bool) (*profile.Collection, error) {
+	switch {
+	case generate:
+		return datagen.Generate(datagen.AbtBuy()).Collection, nil
+	case dirty != "":
+		ps, err := loader.ReadProfilesCSVFile(dirty, idCol)
+		if err != nil {
+			return nil, err
+		}
+		return profile.NewDirty(ps), nil
+	case fileA != "" && fileB != "":
+		a, err := loader.ReadProfilesCSVFile(fileA, idCol)
+		if err != nil {
+			return nil, err
+		}
+		b, err := loader.ReadProfilesCSVFile(fileB, idCol)
+		if err != nil {
+			return nil, err
+		}
+		return profile.NewCleanClean(a, b), nil
+	case fileA == "" && fileB == "":
+		return profile.NewCleanClean(nil, nil), nil
+	}
+	return nil, fmt.Errorf("need both -a and -b (or -dirty, or -generate)")
+}

@@ -1,0 +1,111 @@
+// Serving: build the online entity index from a catalog, stand up the
+// sparker-serve HTTP surface, and exercise query / upsert / stats end to
+// end — the workflow of a production resolver answering point lookups
+// instead of re-running the batch pipeline per request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"sparker"
+	"sparker/serve"
+)
+
+func main() {
+	// 1. Build the index once from an existing clean-clean catalog.
+	mk := func(id string, kvs ...[2]string) sparker.Profile {
+		p := sparker.Profile{OriginalID: id}
+		for _, kv := range kvs {
+			p.Add(kv[0], kv[1])
+		}
+		return p
+	}
+	abt := []sparker.Profile{
+		mk("a1", [2]string{"name", "Acme TurboBlend 5000 blender"},
+			[2]string{"description", "powerful kitchen blender with turbo mode"}),
+		mk("a2", [2]string{"name", "Zenix SoundWave speaker"},
+			[2]string{"description", "portable bluetooth speaker, long battery"}),
+		mk("a3", [2]string{"name", "Acme QuietCool fan"},
+			[2]string{"description", "silent desk fan three speeds"}),
+	}
+	buy := []sparker.Profile{
+		mk("b1", [2]string{"title", "TurboBlend 5000 by Acme (blender)"}),
+		mk("b2", [2]string{"title", "Zenix SoundWave portable speaker"}),
+		mk("b3", [2]string{"title", "Luxor desk lamp"}),
+	}
+	collection := sparker.NewCleanClean(abt, buy)
+
+	idx, err := sparker.NewIndex(collection, sparker.DefaultIndexConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Library-level point lookup: sub-millisecond, no batch re-run.
+	query := mk("probe", [2]string{"name", "Acme TurboBlend 5000"})
+	res := idx.Resolve(&query)
+	fmt.Printf("library query: %d candidate(s), %d comparison(s) against %d profiles\n",
+		len(res.Query.Candidates), res.Comparisons, idx.Size())
+	for _, m := range res.Matches {
+		p, _ := idx.Get(m.B)
+		fmt.Printf("  match %s (score %.2f)\n", p.OriginalID, m.Score)
+	}
+
+	// 3. The same index over HTTP — exactly what sparker-serve serves.
+	srv := httptest.NewServer(serve.NewHandler(idx))
+	defer srv.Close()
+
+	post := func(path, body string) map[string]any {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("POST %s: %s", path, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	// Bulk-load two new source-B products.
+	bulk := post("/bulk?source=1",
+		`{"id": "b4", "title": "Starlight projector lamp"}`+"\n"+
+			`{"id": "b5", "title": "Acme TurboBlend 5000 refurbished blender"}`)
+	fmt.Printf("bulk load: %v new profiles\n", bulk["upserted"])
+
+	// Query: the refurbished blender now shows up as a second match.
+	q := post("/query", `{"id": "probe", "name": "Acme TurboBlend 5000 blender"}`)
+	fmt.Printf("http query: %d candidate(s), %v posting(s) scanned\n",
+		len(q["candidates"].([]any)), q["postings_scanned"])
+	for _, m := range q["matches"].([]any) {
+		mm := m.(map[string]any)
+		fmt.Printf("  match %v (score %.2f)\n", mm["original_id"], mm["score"])
+	}
+
+	// Upsert replaces in place: b4 becomes a blender too.
+	up := post("/upsert?source=1", `{"id": "b4", "title": "Acme blender stand"}`)
+	fmt.Printf("upsert b4: created=%v\n", up["created"])
+
+	// Stats reflect everything that happened.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap sparker.IndexSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d profiles, %d blocks across %d shards, %d queries, %d upserts\n",
+		snap.Profiles, snap.Blocks, snap.Shards, snap.Queries, snap.Upserts)
+}

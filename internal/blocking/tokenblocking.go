@@ -40,25 +40,29 @@ func (o *Options) KeyFor(sourceID int, attribute, token string) (string, int) {
 	return token + "_" + strconv.Itoa(cluster), cluster
 }
 
-// ProfileKeys enumerates the distinct blocking keys of one profile.
-func (o *Options) ProfileKeys(p *profile.Profile) []keyedToken {
+// KeyedToken is one blocking key of a profile together with the
+// attribute cluster that generated it (NoCluster when schema-agnostic).
+type KeyedToken struct {
+	Key     string
+	Cluster int
+}
+
+// KeysOf enumerates the distinct blocking keys of one profile. It is the
+// unit of work of token blocking, exposed so that online consumers (the
+// incremental entity index) derive keys exactly as the batch blocker does.
+func (o *Options) KeysOf(p *profile.Profile) []KeyedToken {
 	seen := make(map[string]bool)
-	var out []keyedToken
+	var out []KeyedToken
 	for _, kv := range p.Attributes {
 		for _, tok := range o.Tokenizer.Tokens(kv.Value) {
 			key, cluster := o.KeyFor(p.SourceID, kv.Key, tok)
 			if !seen[key] {
 				seen[key] = true
-				out = append(out, keyedToken{key: key, cluster: cluster})
+				out = append(out, KeyedToken{Key: key, Cluster: cluster})
 			}
 		}
 	}
 	return out
-}
-
-type keyedToken struct {
-	key     string
-	cluster int
 }
 
 // TokenBlocking builds the block collection sequentially. For clean-clean
@@ -76,11 +80,11 @@ func TokenBlocking(c *profile.Collection, opts Options) *Collection {
 	buckets := make(map[string]*bucket)
 	for i := range c.Profiles {
 		p := &c.Profiles[i]
-		for _, kt := range opts.ProfileKeys(p) {
-			bk := buckets[kt.key]
+		for _, kt := range opts.KeysOf(p) {
+			bk := buckets[kt.Key]
 			if bk == nil {
-				bk = &bucket{cluster: kt.cluster}
-				buckets[kt.key] = bk
+				bk = &bucket{cluster: kt.Cluster}
+				buckets[kt.Key] = bk
 			}
 			if c.IsClean() && p.SourceID == 1 {
 				bk.b = append(bk.b, p.ID)
@@ -127,12 +131,12 @@ func DistributedTokenBlocking(ctx *dataflow.Context, c *profile.Collection, opts
 		Src     int
 	}
 	keyed := dataflow.FlatMap(profiles, func(p profile.Profile) []dataflow.KV[string, assign] {
-		kts := opts.ProfileKeys(&p)
+		kts := opts.KeysOf(&p)
 		out := make([]dataflow.KV[string, assign], 0, len(kts))
 		for _, kt := range kts {
 			out = append(out, dataflow.KV[string, assign]{
-				Key:   kt.key,
-				Value: assign{Cluster: kt.cluster, ID: p.ID, Src: p.SourceID},
+				Key:   kt.Key,
+				Value: assign{Cluster: kt.Cluster, ID: p.ID, Src: p.SourceID},
 			})
 		}
 		return out

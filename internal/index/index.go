@@ -1,0 +1,392 @@
+// Package index provides an online, incrementally maintainable entity
+// index: the serving-side counterpart of the batch blocker. It is built
+// once from a profile collection with the same tokenize/blocking key
+// machinery the pipeline uses, sharded by token hash into independent
+// inverted token→posting indexes, and then answers point lookups without
+// re-running the batch pipeline:
+//
+//	Query(p)   — rank the candidate matches of one profile by probing only
+//	             the postings its blocking keys hit, weighting candidates
+//	             with the meta-blocking schemes (CBS/ECBS/JS/ARCS) and
+//	             pruning them WNP-style (local mean) or CNP-style (top-k).
+//	Upsert(p)  — insert or replace one profile, touching only the postings
+//	             of its blocking keys.
+//	Resolve(p) — Query plus similarity scoring with a matching.Measure,
+//	             the online analogue of the batch matcher stage.
+//
+// Concurrency model: queries take only per-shard read locks and scale
+// across cores; writes (Upsert, bulk loading) are serialized by a single
+// writer lock and take per-shard write locks one shard at a time, so a
+// query never blocks for longer than one posting update. Snapshot locks
+// out writers and reports consistent totals.
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sparker/internal/blocking"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+// PruneRule selects how a query's ranked candidates are pruned, mirroring
+// the node-centric meta-blocking rules.
+type PruneRule int
+
+const (
+	// PruneTopK keeps the MaxCandidates heaviest candidates (CNP-style),
+	// bounding per-query matcher work to a constant. The default.
+	PruneTopK PruneRule = iota
+	// PruneMean keeps candidates at or above the mean weight of the
+	// query's neighbourhood (WNP-style).
+	PruneMean
+	// PruneNone returns every co-occurring candidate.
+	PruneNone
+)
+
+// String names the rule for reports.
+func (r PruneRule) String() string {
+	switch r {
+	case PruneMean:
+		return "mean"
+	case PruneTopK:
+		return "top-k"
+	case PruneNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// Config holds the tunables of an entity index. The zero value is usable;
+// DefaultConfig documents the defaults it resolves to.
+type Config struct {
+	// Shards is the number of independent token shards (default 16).
+	Shards int
+	// Tokenizer derives blocking keys and matcher token bags.
+	Tokenizer tokenize.Options
+	// Clustering enables loose-schema keys, exactly as in batch blocking.
+	Clustering blocking.AttributeClustering
+	// Entropy enables Blast-style entropy re-weighting of shared keys.
+	Entropy metablocking.EntropyProvider
+	// Scheme weights candidates (CBS, ECBS, JS, ARCS; EJS needs global
+	// graph degrees and falls back to JS online).
+	Scheme metablocking.Scheme
+	// MaxBlockFraction is the online analogue of block purging: postings
+	// holding more than this fraction of the indexed profiles are skipped
+	// at query time (default 0.5; set to 1 to disable).
+	MaxBlockFraction float64
+	// FilterRatio is the online analogue of block filtering: of the
+	// postings a query hits, only the smallest ceil(ratio·n) are scanned,
+	// dropping the least distinctive (largest) ones (default 0.8, the
+	// pipeline default; set to 1 to disable).
+	FilterRatio float64
+	// Prune selects the candidate pruning rule (default PruneTopK).
+	Prune PruneRule
+	// MaxCandidates is the k of PruneTopK (default 10).
+	MaxCandidates int
+	// Measure scores Resolve candidates (default whole-profile Jaccard
+	// with Tokenizer).
+	Measure matching.Measure
+	// MatchThreshold labels a Resolve candidate a match at or above it.
+	// Zero resolves to 0.3 (the unsupervised pipeline default); use a
+	// negative value to keep every scored candidate.
+	MatchThreshold float64
+}
+
+// DefaultConfig is the unsupervised serving configuration: schema-agnostic
+// keys, CBS weights, CNP-style top-10 pruning (bounding per-query matcher
+// work to a constant), Jaccard matching.
+func DefaultConfig() Config {
+	return Config{
+		Shards:           16,
+		Scheme:           metablocking.CBS,
+		MaxBlockFraction: 0.5,
+		FilterRatio:      blocking.DefaultFilterRatio,
+		Prune:            PruneTopK,
+		MaxCandidates:    10,
+		MatchThreshold:   0.3,
+	}
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.MaxBlockFraction <= 0 {
+		c.MaxBlockFraction = 0.5
+	}
+	if c.FilterRatio <= 0 {
+		c.FilterRatio = blocking.DefaultFilterRatio
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 10
+	}
+	if c.MatchThreshold == 0 {
+		c.MatchThreshold = 0.3 // negative = keep every scored candidate
+	}
+	if c.Measure == nil {
+		c.Measure = matching.JaccardMeasure(c.Tokenizer)
+	}
+	return c
+}
+
+// posting is the online form of a block: the profiles one blocking key
+// currently hits, split by source for clean-clean tasks.
+type posting struct {
+	cluster int
+	a, b    []profile.ID
+}
+
+// size returns the number of profiles in the posting.
+func (pl *posting) size() int { return len(pl.a) + len(pl.b) }
+
+// comparisons returns the comparison cardinality of the posting, the
+// quantity ARCS weights by.
+func (pl *posting) comparisons(clean bool) float64 {
+	var c float64
+	if clean {
+		c = float64(len(pl.a)) * float64(len(pl.b))
+	} else {
+		n := float64(len(pl.a))
+		c = n * (n - 1) / 2
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// shard is one independently locked slice of the token space.
+type shard struct {
+	mu       sync.RWMutex
+	postings map[string]*posting
+}
+
+// storedProfile is an immutable snapshot of one indexed profile; Upsert
+// replaces the whole struct, so readers holding a pointer stay safe.
+type storedProfile struct {
+	p    profile.Profile
+	keys []blocking.KeyedToken
+}
+
+// Index is a concurrent, sharded, incrementally maintainable entity index.
+type Index struct {
+	cfg   Config
+	opts  blocking.Options
+	clean bool
+
+	shards []*shard
+
+	// writeMu serializes all structural writes (Upsert, bulk load); reads
+	// never take it.
+	writeMu sync.Mutex
+	mu      sync.RWMutex // guards the profile maps below
+	byID    map[profile.ID]*storedProfile
+	byOrig  map[string]profile.ID
+	nextID  profile.ID
+
+	numProfiles atomic.Int64
+	numBlocks   atomic.Int64
+	queries     atomic.Int64
+	upserts     atomic.Int64
+}
+
+// New creates an empty index; clean selects clean-clean semantics (two
+// duplicate-free sources, queries from one source only match the other).
+func New(clean bool, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	x := &Index{
+		cfg:    cfg,
+		opts:   blocking.Options{Tokenizer: cfg.Tokenizer, Clustering: cfg.Clustering},
+		clean:  clean,
+		shards: make([]*shard, cfg.Shards),
+		byID:   make(map[profile.ID]*storedProfile),
+		byOrig: make(map[string]profile.ID),
+	}
+	for i := range x.shards {
+		x.shards[i] = &shard{postings: make(map[string]*posting)}
+	}
+	return x
+}
+
+// NewFromCollection builds the index from a batch collection, preserving
+// its internal profile IDs so that evaluation against an existing ground
+// truth keeps working.
+func NewFromCollection(c *profile.Collection, cfg Config) (*Index, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	x := New(c.IsClean(), cfg)
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+	for i := range c.Profiles {
+		p := c.Profiles[i]
+		if _, ok := x.byOrig[origKey(&p)]; ok {
+			return nil, fmt.Errorf("index: duplicate profile %d:%s", p.SourceID, p.OriginalID)
+		}
+		x.putLocked(p)
+		if p.ID >= x.nextID {
+			x.nextID = p.ID + 1
+		}
+	}
+	return x, nil
+}
+
+// Clean reports whether the index uses clean-clean semantics.
+func (x *Index) Clean() bool { return x.clean }
+
+// Size returns the number of indexed profiles.
+func (x *Index) Size() int { return int(x.numProfiles.Load()) }
+
+// origKey is the replacement identity of a profile: source + original ID.
+func origKey(p *profile.Profile) string {
+	return fmt.Sprintf("%d|%s", p.SourceID, p.OriginalID)
+}
+
+// shardFor hashes a blocking key onto its shard with inline FNV-1a —
+// hash.Hash32 would heap-allocate on every key of the query/upsert hot
+// paths.
+func (x *Index) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return x.shards[int(h%uint32(len(x.shards)))]
+}
+
+// Upsert inserts the profile, or replaces the previous profile with the
+// same (source, original ID), updating only the postings of the removed
+// and added blocking keys. It returns the internal ID and whether the
+// profile was newly created.
+func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
+	if x.clean && p.SourceID != 0 && p.SourceID != 1 {
+		return 0, false, fmt.Errorf("index: clean-clean upsert needs SourceID 0 or 1, got %d", p.SourceID)
+	}
+	if !x.clean {
+		p.SourceID = 0
+	}
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+
+	created := true
+	if oldID, ok := x.lookupOrig(origKey(&p)); ok {
+		created = false
+		x.removeLocked(oldID)
+		p.ID = oldID
+	} else {
+		p.ID = x.nextID
+		x.nextID++
+	}
+	x.putLocked(p)
+	x.upserts.Add(1)
+	return p.ID, created, nil
+}
+
+// Get returns a copy of the indexed profile with the given internal ID.
+// The attribute slice is copied too, so callers may mutate the result
+// without racing against concurrent readers of the stored profile.
+func (x *Index) Get(id profile.ID) (profile.Profile, bool) {
+	x.mu.RLock()
+	sp, ok := x.byID[id]
+	x.mu.RUnlock()
+	if !ok {
+		return profile.Profile{}, false
+	}
+	p := sp.p
+	p.Attributes = append([]profile.KeyValue(nil), sp.p.Attributes...)
+	return p, true
+}
+
+// Meta returns a profile's identity fields without copying its
+// attributes — what response builders need per candidate, cheaper than
+// Get's defensive attribute copy.
+func (x *Index) Meta(id profile.ID) (originalID string, sourceID int, ok bool) {
+	x.mu.RLock()
+	sp, found := x.byID[id]
+	x.mu.RUnlock()
+	if !found {
+		return "", 0, false
+	}
+	return sp.p.OriginalID, sp.p.SourceID, true
+}
+
+// lookupOrig resolves a (source, original ID) identity under the read lock.
+func (x *Index) lookupOrig(key string) (profile.ID, bool) {
+	x.mu.RLock()
+	id, ok := x.byOrig[key]
+	x.mu.RUnlock()
+	return id, ok
+}
+
+// putLocked indexes one profile. Caller holds writeMu; p.ID is final.
+func (x *Index) putLocked(p profile.Profile) {
+	sp := &storedProfile{p: p, keys: x.opts.KeysOf(&p)}
+	for _, kt := range sp.keys {
+		s := x.shardFor(kt.Key)
+		s.mu.Lock()
+		pl := s.postings[kt.Key]
+		if pl == nil {
+			pl = &posting{cluster: kt.Cluster}
+			s.postings[kt.Key] = pl
+			x.numBlocks.Add(1)
+		}
+		if x.clean && p.SourceID == 1 {
+			pl.b = append(pl.b, p.ID)
+		} else {
+			pl.a = append(pl.a, p.ID)
+		}
+		s.mu.Unlock()
+	}
+	x.mu.Lock()
+	x.byID[p.ID] = sp
+	x.byOrig[origKey(&p)] = p.ID
+	x.mu.Unlock()
+	x.numProfiles.Add(1)
+}
+
+// removeLocked unindexes one profile. Caller holds writeMu.
+func (x *Index) removeLocked(id profile.ID) {
+	x.mu.Lock()
+	sp, ok := x.byID[id]
+	if ok {
+		delete(x.byID, id)
+		delete(x.byOrig, origKey(&sp.p))
+	}
+	x.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, kt := range sp.keys {
+		s := x.shardFor(kt.Key)
+		s.mu.Lock()
+		if pl := s.postings[kt.Key]; pl != nil {
+			if x.clean && sp.p.SourceID == 1 {
+				pl.b = removeID(pl.b, id)
+			} else {
+				pl.a = removeID(pl.a, id)
+			}
+			if pl.size() == 0 {
+				delete(s.postings, kt.Key)
+				x.numBlocks.Add(-1)
+			}
+		}
+		s.mu.Unlock()
+	}
+	x.numProfiles.Add(-1)
+}
+
+// removeID deletes one ID from a posting list, preserving order.
+func removeID(ids []profile.ID, id profile.ID) []profile.ID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,368 @@
+package index
+
+import (
+	"cmp"
+	"math"
+	"slices"
+	"sort"
+
+	"sparker/internal/blocking"
+	"sparker/internal/core"
+	"sparker/internal/evaluation"
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+)
+
+// Candidate is one ranked match candidate of a query.
+type Candidate struct {
+	ID profile.ID
+	// Weight is the meta-blocking scheme weight of the candidate.
+	Weight float64
+	// SharedKeys is the number of blocking keys shared with the query.
+	SharedKeys int
+}
+
+// QueryResult carries the ranked candidates plus the probe accounting
+// that shows how much work the index avoided versus a full scan.
+type QueryResult struct {
+	// Candidates are ranked by weight descending (ties by ID).
+	Candidates []Candidate
+	// Keys is the number of blocking keys the query profile produced.
+	Keys int
+	// BlocksProbed counts postings found for those keys.
+	BlocksProbed int
+	// BlocksPurged counts postings skipped as oversized (the online
+	// analogue of block purging).
+	BlocksPurged int
+	// BlocksFiltered counts postings skipped as the least distinctive of
+	// the query's blocks (the online analogue of block filtering).
+	BlocksFiltered int
+	// PostingsScanned counts profile entries read across probed postings —
+	// the true per-query work bound, orders of magnitude below the
+	// collection size for selective queries.
+	PostingsScanned int
+	// Pruned counts candidates dropped by the pruning rule.
+	Pruned int
+
+	// selfID is the query profile's internal ID when it is itself
+	// indexed, or -1; Resolve reuses it to label matches.
+	selfID profile.ID
+}
+
+// candAcc accumulates the per-candidate co-occurrence statistics the
+// weight schemes need, mirroring metablocking's edge accumulator.
+type candAcc struct {
+	cbs        int
+	arcs       float64
+	entropySum float64
+	entArcs    float64
+}
+
+// Query ranks the candidate matches of p by probing only the postings its
+// blocking keys hit. p does not need to be indexed; when it is (same
+// source and original ID), it is excluded from its own candidates.
+func (x *Index) Query(p *profile.Profile) *QueryResult {
+	x.queries.Add(1)
+	// Dirty indexes store everything under source 0 (Upsert normalizes);
+	// queries must match, or self-exclusion and loose-schema keys break.
+	if !x.clean && p.SourceID != 0 {
+		q := *p
+		q.SourceID = 0
+		p = &q
+	}
+	keys := x.opts.KeysOf(p)
+	res := &QueryResult{Keys: len(keys)}
+
+	selfID := profile.ID(-1)
+	if id, ok := x.lookupOrig(origKey(p)); ok {
+		selfID = id
+	}
+
+	maxSize := int(x.cfg.MaxBlockFraction * float64(x.numProfiles.Load()))
+	if maxSize < 2 {
+		maxSize = 2
+	}
+
+	// Pass 1 — size probe: find the query's live postings and drop
+	// oversized ones (block purging, applied per query).
+	type probe struct {
+		key  string
+		sh   *shard
+		size int
+	}
+	probes := make([]probe, 0, len(keys))
+	for _, kt := range keys {
+		s := x.shardFor(kt.Key)
+		s.mu.RLock()
+		pl := s.postings[kt.Key]
+		sz := 0
+		if pl != nil {
+			sz = pl.size()
+		}
+		s.mu.RUnlock()
+		if pl == nil {
+			continue
+		}
+		if sz > maxSize {
+			res.BlocksPurged++
+			continue
+		}
+		probes = append(probes, probe{key: kt.Key, sh: s, size: sz})
+	}
+	// The query's block count for the ratio schemes (|B_p| in the batch
+	// blocker) counts only live, unpurged postings — raw token counts
+	// would inflate JS unions and can clamp ECBS to zero on small
+	// indexes.
+	liveKeys := len(probes)
+
+	// Block filtering, applied per query: scan only the smallest (most
+	// distinctive) FilterRatio fraction of the hit postings.
+	if x.cfg.FilterRatio < 1 && len(probes) > 0 {
+		sort.SliceStable(probes, func(i, j int) bool {
+			if probes[i].size != probes[j].size {
+				return probes[i].size < probes[j].size
+			}
+			return probes[i].key < probes[j].key
+		})
+		keep := int(math.Ceil(x.cfg.FilterRatio * float64(len(probes))))
+		if keep < 1 {
+			keep = 1
+		}
+		res.BlocksFiltered = len(probes) - keep
+		probes = probes[:keep]
+	}
+
+	// Pass 2 — scan the surviving postings, accumulating co-occurrence
+	// statistics per candidate. The accumulator map holds values, not
+	// pointers: queries are the hot path and per-candidate allocations
+	// dominate their profile otherwise.
+	acc := make(map[profile.ID]candAcc)
+	useEntropy := x.cfg.Entropy != nil
+	for _, pr := range probes {
+		s := pr.sh
+		s.mu.RLock()
+		pl := s.postings[pr.key]
+		if pl == nil { // deleted between passes by a concurrent upsert
+			s.mu.RUnlock()
+			continue
+		}
+		res.BlocksProbed++
+		entropy := 1.0
+		if useEntropy {
+			entropy = x.cfg.Entropy.EntropyOf(pl.cluster)
+		}
+		card := pl.comparisons(x.clean)
+		visit := func(ids []profile.ID) {
+			res.PostingsScanned += len(ids)
+			for _, id := range ids {
+				if id == selfID {
+					continue
+				}
+				a := acc[id]
+				a.cbs++
+				a.arcs += 1 / card
+				a.entropySum += entropy
+				a.entArcs += entropy / card
+				acc[id] = a
+			}
+		}
+		if x.clean {
+			// Clean-clean: candidates live in the opposite source only.
+			if p.SourceID == 1 {
+				visit(pl.a)
+			} else {
+				visit(pl.b)
+			}
+		} else {
+			visit(pl.a)
+		}
+		s.mu.RUnlock()
+	}
+
+	res.selfID = selfID
+	res.Candidates = x.weigh(liveKeys, acc)
+	res.Pruned = x.prune(res)
+	return res
+}
+
+// weigh converts the accumulated co-occurrence statistics into ranked
+// weighted candidates using the configured meta-blocking scheme.
+func (x *Index) weigh(queryKeys int, acc map[profile.ID]candAcc) []Candidate {
+	if len(acc) == 0 {
+		return nil
+	}
+	numBlocks := float64(x.numBlocks.Load())
+	// Only the ratio schemes need each candidate's block count; CBS and
+	// ARCS skip the per-candidate profile lookups entirely.
+	needsCandKeys := false
+	switch x.cfg.Scheme {
+	case metablocking.ECBS, metablocking.JS, metablocking.EJS:
+		needsCandKeys = true
+	}
+	out := make([]Candidate, 0, len(acc))
+	x.mu.RLock()
+	for id, a := range acc {
+		candKeys := 0
+		if needsCandKeys {
+			if sp := x.byID[id]; sp != nil {
+				candKeys = len(sp.keys)
+			}
+		}
+		out = append(out, Candidate{
+			ID:         id,
+			Weight:     x.weight(a, queryKeys, candKeys, numBlocks),
+			SharedKeys: a.cbs,
+		})
+	}
+	x.mu.RUnlock()
+	slices.SortFunc(out, func(a, b Candidate) int {
+		if a.Weight != b.Weight {
+			return cmp.Compare(b.Weight, a.Weight)
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+	return out
+}
+
+// weight mirrors metablocking's edge weighting for one query/candidate
+// pair. EJS needs the full graph's node degrees, which an online index
+// does not maintain, so it degrades to JS.
+func (x *Index) weight(a candAcc, queryKeys, candKeys int, numBlocks float64) float64 {
+	cbs := float64(a.cbs)
+	if cbs == 0 {
+		return 0
+	}
+	useEntropy := x.cfg.Entropy != nil
+	meanEntropy := a.entropySum / cbs
+	switch x.cfg.Scheme {
+	case metablocking.ECBS:
+		w := cbs * metablocking.LogRatio(numBlocks, float64(queryKeys)) * metablocking.LogRatio(numBlocks, float64(candKeys))
+		if useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case metablocking.JS, metablocking.EJS:
+		union := float64(queryKeys) + float64(candKeys) - cbs
+		if union <= 0 {
+			return 0
+		}
+		w := cbs / union
+		if useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case metablocking.ARCS:
+		if useEntropy {
+			return a.entArcs
+		}
+		return a.arcs
+	default: // CBS
+		if useEntropy {
+			return a.entropySum
+		}
+		return cbs
+	}
+}
+
+// prune applies the configured rule to the ranked candidates in place and
+// returns how many were dropped.
+func (x *Index) prune(res *QueryResult) int {
+	before := len(res.Candidates)
+	switch x.cfg.Prune {
+	case PruneTopK:
+		if before > x.cfg.MaxCandidates {
+			res.Candidates = res.Candidates[:x.cfg.MaxCandidates]
+		}
+	case PruneMean:
+		var sum float64
+		for _, c := range res.Candidates {
+			sum += c.Weight
+		}
+		mean := sum / float64(before)
+		keep := res.Candidates[:0]
+		for _, c := range res.Candidates {
+			if c.Weight >= mean {
+				keep = append(keep, c)
+			}
+		}
+		res.Candidates = keep
+	}
+	return before - len(res.Candidates)
+}
+
+// Resolution is the online analogue of one pipeline run for a single
+// query profile: the ranked blocking candidates plus the scored matches.
+type Resolution struct {
+	// Query is the candidate-generation result.
+	Query *QueryResult
+	// Matches are the candidates scoring at or above the match threshold,
+	// sorted by score descending. B is the candidate's internal ID; A is
+	// the query profile's internal ID when the query is itself indexed,
+	// and -1 otherwise (an ad-hoc probe has no internal identity).
+	Matches []matching.Match
+	// Comparisons is the number of candidate profiles actually scored —
+	// the per-query matcher work.
+	Comparisons int
+}
+
+// Resolve runs Query and then scores every surviving candidate with the
+// configured similarity measure, keeping matches at or above the match
+// threshold — blocking, meta-blocking pruning and matching collapsed into
+// one sub-millisecond point lookup.
+func (x *Index) Resolve(p *profile.Profile) *Resolution {
+	qr := x.Query(p)
+	r := &Resolution{Query: qr}
+	queryID := qr.selfID
+
+	// Collect candidate profile snapshots under the read lock, score after
+	// releasing it: upserts replace stored profiles instead of mutating
+	// them, so the pointers stay valid.
+	type scored struct {
+		id profile.ID
+		sp *storedProfile
+	}
+	cands := make([]scored, 0, len(qr.Candidates))
+	x.mu.RLock()
+	for _, c := range qr.Candidates {
+		if sp := x.byID[c.ID]; sp != nil {
+			cands = append(cands, scored{id: c.ID, sp: sp})
+		}
+	}
+	x.mu.RUnlock()
+
+	for _, c := range cands {
+		r.Comparisons++
+		score := x.cfg.Measure(p, &c.sp.p)
+		if score >= x.cfg.MatchThreshold {
+			r.Matches = append(r.Matches, matching.Match{A: queryID, B: c.id, Score: score})
+		}
+	}
+	sort.Slice(r.Matches, func(i, j int) bool {
+		if r.Matches[i].Score != r.Matches[j].Score {
+			return r.Matches[i].Score > r.Matches[j].Score
+		}
+		return r.Matches[i].B < r.Matches[j].B
+	})
+	return r
+}
+
+// Report evaluates the resolution against a ground truth, producing the
+// same per-stage quality rows as the batch pipeline's StepReport table.
+// The query profile must carry the internal ID the ground truth uses.
+func (r *Resolution) Report(queryID profile.ID, gt *evaluation.GroundTruth, maxComparisons int64) []core.StepReport {
+	pairs := make([]blocking.Pair, 0, len(r.Query.Candidates))
+	for _, c := range r.Query.Candidates {
+		pairs = append(pairs, blocking.Pair{A: queryID, B: c.ID}.Canonical())
+	}
+	matches := make([]matching.Match, len(r.Matches))
+	copy(matches, r.Matches)
+	for i := range matches {
+		p := blocking.Pair{A: queryID, B: matches[i].B}.Canonical()
+		matches[i].A, matches[i].B = p.A, p.B
+	}
+	return []core.StepReport{
+		{Step: "index-query", Metrics: evaluation.EvaluatePairs(pairs, gt, maxComparisons)},
+		{Step: "index-matching", Metrics: evaluation.EvaluateMatches(matches, gt, maxComparisons)},
+	}
+}

@@ -1,0 +1,53 @@
+package index
+
+// Snapshot is a consistent point-in-time summary of the index, the
+// online analogue of blocking.Stats plus serving counters.
+type Snapshot struct {
+	// Shards is the configured shard count.
+	Shards int `json:"shards"`
+	// Profiles is the number of indexed profiles.
+	Profiles int `json:"profiles"`
+	// Blocks is the number of live postings (distinct blocking keys).
+	Blocks int `json:"blocks"`
+	// Assignments is the total number of profile→posting placements.
+	Assignments int64 `json:"assignments"`
+	// MaxBlockSize is the largest posting.
+	MaxBlockSize int `json:"max_block_size"`
+	// AvgBlockSize is Assignments/Blocks.
+	AvgBlockSize float64 `json:"avg_block_size"`
+	// Queries and Upserts count operations served since construction
+	// (profiles indexed at construction do not count as upserts; /bulk
+	// loads do).
+	Queries int64 `json:"queries"`
+	Upserts int64 `json:"upserts"`
+}
+
+// Snapshot summarises the index. It takes the writer lock, so the totals
+// are consistent with each other (no upsert is half-applied in them).
+func (x *Index) Snapshot() Snapshot {
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+
+	s := Snapshot{
+		Shards:   len(x.shards),
+		Profiles: int(x.numProfiles.Load()),
+		Queries:  x.queries.Load(),
+		Upserts:  x.upserts.Load(),
+	}
+	for _, sh := range x.shards {
+		sh.mu.RLock()
+		s.Blocks += len(sh.postings)
+		for _, pl := range sh.postings {
+			n := pl.size()
+			s.Assignments += int64(n)
+			if n > s.MaxBlockSize {
+				s.MaxBlockSize = n
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if s.Blocks > 0 {
+		s.AvgBlockSize = float64(s.Assignments) / float64(s.Blocks)
+	}
+	return s
+}

@@ -263,8 +263,8 @@ func (g *graphContext) weight(a, b profile.ID, acc *edgeAccumulator) float64 {
 		}
 		return cbs
 	case ECBS:
-		w := cbs * logRatio(g.numBlocks, float64(g.idx.NumBlocksOf(a))) *
-			logRatio(g.numBlocks, float64(g.idx.NumBlocksOf(b)))
+		w := cbs * LogRatio(g.numBlocks, float64(g.idx.NumBlocksOf(a))) *
+			LogRatio(g.numBlocks, float64(g.idx.NumBlocksOf(b)))
 		if g.useEntropy {
 			w *= meanEntropy
 		}
@@ -286,7 +286,7 @@ func (g *graphContext) weight(a, b profile.ID, acc *edgeAccumulator) float64 {
 		}
 		w := cbs / union
 		da, db := float64(g.degrees[a]), float64(g.degrees[b])
-		w *= logRatio(g.totalEdges, da) * logRatio(g.totalEdges, db)
+		w *= LogRatio(g.totalEdges, da) * LogRatio(g.totalEdges, db)
 		if g.useEntropy {
 			w *= meanEntropy
 		}
@@ -300,7 +300,10 @@ func (g *graphContext) weight(a, b profile.ID, acc *edgeAccumulator) float64 {
 	return 0
 }
 
-func logRatio(total, part float64) float64 {
+// LogRatio is the clamped log10(total/part) factor of the ECBS and EJS
+// schemes, shared with the online index so both sides keep the same
+// clamping semantics.
+func LogRatio(total, part float64) float64 {
 	if part <= 0 || total <= 0 {
 		return 0
 	}

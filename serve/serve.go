@@ -1,0 +1,187 @@
+// Package serve exposes the online entity index over HTTP — the handler
+// behind the sparker-serve command. It lives outside the root sparker
+// package and outside internal/index so that batch-only consumers of the
+// library do not link the HTTP stack.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sparker/internal/index"
+	"sparker/internal/loader"
+	"sparker/internal/profile"
+)
+
+// NewHandler serves an index over HTTP:
+//
+//	POST /query   — body: one JSON profile {"id": "...", "attr": "value"};
+//	                ranks candidates and scores matches. ?source=1 marks
+//	                the query as coming from the second clean source.
+//	POST /upsert  — body: one JSON profile; inserts or replaces it.
+//	POST /bulk    — body: JSON-lines profiles; upserts every record.
+//	GET  /stats   — consistent index snapshot.
+//
+// Profiles use the loader's JSON-lines wire format; the "id" field is the
+// original identifier, every other field an attribute.
+func NewHandler(x *index.Index) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := readOneProfile(w, r, x)
+		if !ok {
+			return
+		}
+		writeJSON(w, newQueryResponse(x, x.Resolve(p)))
+	})
+	mux.HandleFunc("/upsert", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := readOneProfile(w, r, x)
+		if !ok {
+			return
+		}
+		id, created, err := x.Upsert(*p)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"id": id, "created": created})
+	})
+	mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
+		ps, ok := readProfiles(w, r, x)
+		if !ok {
+			return
+		}
+		for _, p := range ps {
+			if _, _, err := x.Upsert(p); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		writeJSON(w, map[string]any{"upserted": len(ps)})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, x.Snapshot())
+	})
+	return mux
+}
+
+// candidateJSON is one ranked blocking candidate on the wire.
+type candidateJSON struct {
+	ID         profile.ID `json:"id"`
+	OriginalID string     `json:"original_id"`
+	Source     int        `json:"source"`
+	Weight     float64    `json:"weight"`
+	SharedKeys int        `json:"shared_keys"`
+}
+
+// matchJSON is one scored match on the wire.
+type matchJSON struct {
+	ID         profile.ID `json:"id"`
+	OriginalID string     `json:"original_id"`
+	Source     int        `json:"source"`
+	Score      float64    `json:"score"`
+}
+
+// queryResponse carries a resolution plus its probe accounting.
+type queryResponse struct {
+	Candidates      []candidateJSON `json:"candidates"`
+	Matches         []matchJSON     `json:"matches"`
+	Keys            int             `json:"keys"`
+	BlocksProbed    int             `json:"blocks_probed"`
+	BlocksPurged    int             `json:"blocks_purged"`
+	BlocksFiltered  int             `json:"blocks_filtered"`
+	PostingsScanned int             `json:"postings_scanned"`
+	Pruned          int             `json:"pruned"`
+	Comparisons     int             `json:"comparisons"`
+}
+
+func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
+	resp := queryResponse{
+		Candidates:      make([]candidateJSON, 0, len(r.Query.Candidates)),
+		Matches:         make([]matchJSON, 0, len(r.Matches)),
+		Keys:            r.Query.Keys,
+		BlocksProbed:    r.Query.BlocksProbed,
+		BlocksPurged:    r.Query.BlocksPurged,
+		BlocksFiltered:  r.Query.BlocksFiltered,
+		PostingsScanned: r.Query.PostingsScanned,
+		Pruned:          r.Query.Pruned,
+		Comparisons:     r.Comparisons,
+	}
+	for _, c := range r.Query.Candidates {
+		cj := candidateJSON{ID: c.ID, Weight: c.Weight, SharedKeys: c.SharedKeys}
+		if orig, src, ok := x.Meta(c.ID); ok {
+			cj.OriginalID = orig
+			cj.Source = src
+		}
+		resp.Candidates = append(resp.Candidates, cj)
+	}
+	for _, m := range r.Matches {
+		mj := matchJSON{ID: m.B, Score: m.Score}
+		if orig, src, ok := x.Meta(m.B); ok {
+			mj.OriginalID = orig
+			mj.Source = src
+		}
+		resp.Matches = append(resp.Matches, mj)
+	}
+	return resp
+}
+
+// readOneProfile parses exactly one JSON profile from a POST body.
+func readOneProfile(w http.ResponseWriter, r *http.Request, x *index.Index) (*profile.Profile, bool) {
+	ps, ok := readProfiles(w, r, x)
+	if !ok {
+		return nil, false
+	}
+	if len(ps) != 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("expected one profile, got %d", len(ps)))
+		return nil, false
+	}
+	return &ps[0], true
+}
+
+// readProfiles parses a JSON-lines POST body, applying the ?source param.
+func readProfiles(w http.ResponseWriter, r *http.Request, x *index.Index) ([]profile.Profile, bool) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return nil, false
+	}
+	ps, err := loader.ReadProfilesJSONL(r.Body, "id")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	source := 0
+	if s := r.URL.Query().Get("source"); s != "" {
+		source, err = strconv.Atoi(s)
+		if err != nil || source < 0 || source > 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad source %q", s))
+			return nil, false
+		}
+		if source == 1 && !x.Clean() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("source=1 needs a clean-clean index"))
+			return nil, false
+		}
+	}
+	for i := range ps {
+		ps[i].SourceID = source
+	}
+	return ps, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,118 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sparker"
+	"sparker/serve"
+)
+
+// newTestServer builds a small clean-clean index through the public API
+// and serves it.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mk := func(id, key, value string) sparker.Profile {
+		p := sparker.Profile{OriginalID: id}
+		p.Add(key, value)
+		return p
+	}
+	a := []sparker.Profile{
+		mk("a1", "name", "acme turboblend blender"),
+		mk("a2", "name", "zenix soundwave speaker"),
+		mk("a3", "name", "quietcool desk fan"),
+	}
+	b := []sparker.Profile{
+		mk("b1", "title", "turboblend blender by acme"),
+		mk("b2", "title", "zenix soundwave portable speaker"),
+		mk("b3", "title", "luxor desk lamp"),
+	}
+	idx, err := sparker.NewIndex(sparker.NewCleanClean(a, b), sparker.DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewHandler(idx))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHandlerEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Upsert a new source-1 profile, then query for it from source 0.
+	up := post("/upsert?source=1", `{"id": "b9", "title": "starlight projector lamp"}`)
+	if up["created"] != true {
+		t.Fatalf("upsert response = %v", up)
+	}
+	q := post("/query", `{"id": "probe", "name": "starlight projector"}`)
+	cands := q["candidates"].([]any)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].(map[string]any)["original_id"] != "b9" {
+		t.Fatalf("top candidate = %v", cands[0])
+	}
+
+	bulk := post("/bulk?source=1", "{\"id\": \"b10\", \"title\": \"copper kettle\"}\n{\"id\": \"b11\", \"title\": \"steel kettle\"}")
+	if bulk["upserted"] != float64(2) {
+		t.Fatalf("bulk response = %v", bulk)
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap sparker.IndexSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Profiles != 9 || snap.Upserts != 3 {
+		t.Fatalf("stats = %+v", snap)
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+
+	if resp, err := http.Get(srv.URL + "/query"); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status = %d", resp.StatusCode)
+	}
+	for _, tc := range []struct{ path, body string }{
+		{"/upsert?source=9", `{"id": "z"}`},
+		{"/query", `{"id": oops`},
+		{"/query", "{\"id\": \"p1\"}\n{\"id\": \"p2\"}"},
+		{"/query", ""},
+	} {
+		resp, err := http.Post(srv.URL+tc.path, "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s with %q: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}

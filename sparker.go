@@ -35,6 +35,7 @@ import (
 	"sparker/internal/dataflow"
 	"sparker/internal/datagen"
 	"sparker/internal/evaluation"
+	"sparker/internal/index"
 	"sparker/internal/loader"
 	"sparker/internal/looseschema"
 	"sparker/internal/matching"
@@ -213,6 +214,49 @@ var (
 	// ReadGroundTruthCSVFile parses a two-column ground-truth CSV file.
 	ReadGroundTruthCSVFile = loader.ReadGroundTruthCSVFile
 )
+
+// Online serving (the incremental entity index).
+type (
+	// Index is the concurrent, sharded, incrementally maintainable entity
+	// index behind sparker-serve.
+	Index = index.Index
+	// IndexConfig holds the index tunables.
+	IndexConfig = index.Config
+	// IndexCandidate is one ranked blocking candidate of a query.
+	IndexCandidate = index.Candidate
+	// IndexQueryResult carries ranked candidates plus probe accounting.
+	IndexQueryResult = index.QueryResult
+	// IndexResolution is the scored (matched) result of one point lookup.
+	IndexResolution = index.Resolution
+	// IndexSnapshot is a consistent point-in-time index summary.
+	IndexSnapshot = index.Snapshot
+)
+
+// Index candidate-pruning rules.
+const (
+	// IndexPruneMean keeps candidates at or above the neighbourhood mean
+	// weight (WNP-style).
+	IndexPruneMean = index.PruneMean
+	// IndexPruneTopK keeps the MaxCandidates heaviest candidates
+	// (CNP-style).
+	IndexPruneTopK = index.PruneTopK
+	// IndexPruneNone disables candidate pruning.
+	IndexPruneNone = index.PruneNone
+)
+
+// DefaultIndexConfig is the unsupervised serving configuration.
+func DefaultIndexConfig() IndexConfig { return index.DefaultConfig() }
+
+// NewIndex builds the online index from a batch collection, preserving
+// internal profile IDs.
+func NewIndex(c *Collection, cfg IndexConfig) (*Index, error) {
+	return index.NewFromCollection(c, cfg)
+}
+
+// NewEmptyIndex starts an empty index to be filled through Upsert. To
+// serve an index over HTTP, see the sparker/serve subpackage (kept out
+// of this package so batch-only consumers do not link net/http).
+func NewEmptyIndex(clean bool, cfg IndexConfig) *Index { return index.New(clean, cfg) }
 
 // Synthetic benchmark.
 type (

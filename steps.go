@@ -52,6 +52,18 @@ func BuildBlockIndex(blocks *BlockCollection) *BlockIndex {
 	return blocking.BuildIndex(blocks)
 }
 
+// BlockingKey is one blocking key of a profile with its attribute
+// cluster (the unit of work shared by batch blocking and the online
+// index).
+type BlockingKey = blocking.KeyedToken
+
+// ProfileBlockingKeys enumerates the distinct blocking keys one profile
+// produces under the given options — the keys the online index probes
+// for it.
+func ProfileBlockingKeys(p *Profile, opts BlockingOptions) []BlockingKey {
+	return opts.KeysOf(p)
+}
+
 // MetaBlockingOptions configures graph-based comparison pruning.
 type MetaBlockingOptions = metablocking.Options
 
