@@ -260,6 +260,48 @@ func BenchmarkAblationPruning(b *testing.B) {
 
 // --- micro-benchmarks of the hot paths ---
 
+// BenchmarkMetablockingSequential times the sequential flat-kernel
+// meta-blocker per weight scheme (Blast pruning, entropy on). Together
+// with BenchmarkIndexQuery it feeds the CI hot-path artifact
+// (BENCH_hotpath.json); allocs/op is the number the flat neighbourhood
+// kernel is accountable for.
+func BenchmarkMetablockingSequential(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	filtered := blocking.Filter(blocking.PurgeBySize(
+		blocking.TokenBlocking(d.Collection, blocking.Options{Clustering: part}), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	for _, s := range []metablocking.Scheme{metablocking.CBS, metablocking.JS, metablocking.EJS} {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				metablocking.Run(idx, metablocking.Options{Scheme: s, Pruning: metablocking.BlastPruning, Entropy: part})
+			}
+		})
+	}
+}
+
+// BenchmarkMetablockingDistributed times the broadcast-join meta-blocker
+// with the per-task pooled scratches.
+func BenchmarkMetablockingDistributed(b *testing.B) {
+	d := benchDataset(b)
+	part := looseschema.Partition(d.Collection, looseschema.Options{Threshold: 0.3})
+	filtered := blocking.Filter(blocking.PurgeBySize(
+		blocking.TokenBlocking(d.Collection, blocking.Options{Clustering: part}), 0.5), 0.8)
+	idx := blocking.BuildIndex(filtered)
+	ctx := dataflow.NewContext(dataflow.WithParallelism(4))
+	defer ctx.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metablocking.RunDistributed(ctx, idx, metablocking.Options{
+			Scheme: metablocking.CBS, Pruning: metablocking.WNP, Entropy: part,
+		}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTokenBlocking times sequential block construction.
 func BenchmarkTokenBlocking(b *testing.B) {
 	d := benchDataset(b)
@@ -358,6 +400,7 @@ func BenchmarkIndexQuery(b *testing.B) {
 		}
 		b.Run(benchName("shards", shards), func(b *testing.B) {
 			var comparisons, postings, next atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {

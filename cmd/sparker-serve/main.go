@@ -101,7 +101,8 @@ func run() error {
 	}
 	switch *measure {
 	case "jaccard":
-		cfg.Measure = matching.JaccardMeasure(cfg.Tokenizer)
+		// Leave Measure nil: the index installs whole-profile Jaccard
+		// itself and unlocks its cached-token-bag scoring fast path.
 	case "dice":
 		cfg.Measure = matching.DiceMeasure(cfg.Tokenizer)
 	default:

@@ -86,26 +86,49 @@ func Filter(c *Collection, ratio float64) *Collection {
 	return out
 }
 
+// BlockRef is one entry of Index.BlocksOf: a block ordinal packed with the
+// side of the block the profile sits on (ordinal<<1 | side, side 1 meaning
+// the B slice of a clean-clean block). Carrying the side bit lets the
+// meta-blocking kernel pick the opposite side of every block directly
+// instead of linearly scanning the block's A slice per visit.
+type BlockRef int32
+
+// MakeBlockRef packs a block ordinal and a side into a BlockRef.
+func MakeBlockRef(ordinal int32, sideB bool) BlockRef {
+	r := BlockRef(ordinal << 1)
+	if sideB {
+		r |= 1
+	}
+	return r
+}
+
+// Ordinal returns the block ordinal into the collection's Blocks slice.
+func (r BlockRef) Ordinal() int32 { return int32(r) >> 1 }
+
+// SideB reports whether the profile sits in the block's B slice.
+func (r BlockRef) SideB() bool { return r&1 == 1 }
+
 // Index maps every profile to the blocks it appears in after
 // purging/filtering; it is the data structure the meta-blocking graph is
 // materialised from (and what the parallel algorithm broadcasts).
 type Index struct {
-	// BlocksOf[id] lists block ordinals of c.Blocks, ascending.
-	BlocksOf map[profile.ID][]int32
+	// BlocksOf[id] lists the profile's blocks as BlockRefs, ascending by
+	// block ordinal.
+	BlocksOf map[profile.ID][]BlockRef
 	// Blocks is the underlying collection the ordinals refer to.
 	Blocks *Collection
 }
 
 // BuildIndex constructs the profile-to-blocks index.
 func BuildIndex(c *Collection) *Index {
-	idx := &Index{BlocksOf: make(map[profile.ID][]int32), Blocks: c}
+	idx := &Index{BlocksOf: make(map[profile.ID][]BlockRef), Blocks: c}
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
 		for _, id := range b.A {
-			idx.BlocksOf[id] = append(idx.BlocksOf[id], int32(i))
+			idx.BlocksOf[id] = append(idx.BlocksOf[id], MakeBlockRef(int32(i), false))
 		}
 		for _, id := range b.B {
-			idx.BlocksOf[id] = append(idx.BlocksOf[id], int32(i))
+			idx.BlocksOf[id] = append(idx.BlocksOf[id], MakeBlockRef(int32(i), true))
 		}
 	}
 	return idx
@@ -113,6 +136,19 @@ func BuildIndex(c *Collection) *Index {
 
 // NumBlocksOf returns |B_p|, the number of blocks containing the profile.
 func (idx *Index) NumBlocksOf(id profile.ID) int { return len(idx.BlocksOf[id]) }
+
+// MaxProfileID returns the largest profile ID in the index, or -1 when the
+// index is empty — the bound flat, ID-indexed kernels size their scratch
+// arrays to.
+func (idx *Index) MaxProfileID() profile.ID {
+	max := profile.ID(-1)
+	for id := range idx.BlocksOf {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
 
 // ProfileIDs lists every profile that survived into the index, sorted.
 func (idx *Index) ProfileIDs() []profile.ID {

@@ -3,6 +3,7 @@ package blocking
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"sparker/internal/dataflow"
 	"sparker/internal/profile"
@@ -47,21 +48,32 @@ type KeyedToken struct {
 	Cluster int
 }
 
-// KeysOf enumerates the distinct blocking keys of one profile. It is the
-// unit of work of token blocking, exposed so that online consumers (the
-// incremental entity index) derive keys exactly as the batch blocker does.
+// keysSeenPool recycles the per-call dedup sets of KeysOf. KeysOf runs
+// once per profile on both the batch blocking and index upsert/query hot
+// paths; pooling the set (and clearing it, which Go compiles to a cheap
+// map reset) removes the dominant allocation of key derivation.
+var keysSeenPool = sync.Pool{
+	New: func() any { return make(map[string]struct{}, 64) },
+}
+
+// KeysOf enumerates the distinct blocking keys of one profile, in first-
+// occurrence order. It is the unit of work of token blocking, exposed so
+// that online consumers (the incremental entity index) derive keys exactly
+// as the batch blocker does.
 func (o *Options) KeysOf(p *profile.Profile) []KeyedToken {
-	seen := make(map[string]bool)
+	seen := keysSeenPool.Get().(map[string]struct{})
 	var out []KeyedToken
 	for _, kv := range p.Attributes {
 		for _, tok := range o.Tokenizer.Tokens(kv.Value) {
 			key, cluster := o.KeyFor(p.SourceID, kv.Key, tok)
-			if !seen[key] {
-				seen[key] = true
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
 				out = append(out, KeyedToken{Key: key, Cluster: cluster})
 			}
 		}
 	}
+	clear(seen)
+	keysSeenPool.Put(seen)
 	return out
 }
 

@@ -272,16 +272,47 @@ func (r *RDD[T]) Count() (int64, error) {
 	return total, nil
 }
 
-// Take returns up to n elements from the first partitions.
+// Take returns up to n elements from the first partitions. Partitions are
+// scanned incrementally — one stage over a geometrically growing batch of
+// partitions, stopping as soon as n elements are gathered — so a Take
+// over a wide RDD does not materialise every partition the way Collect
+// does (the same ramp-up Spark's take action uses).
 func (r *RDD[T]) Take(n int) ([]T, error) {
-	all, err := r.Collect() // small-data simulator: no incremental scan needed
-	if err != nil {
+	if n <= 0 {
+		return nil, nil
+	}
+	r.ctx.metrics.JobsRun.Add(1)
+	if err := r.prepare(); err != nil {
 		return nil, err
 	}
-	if len(all) > n {
-		all = all[:n]
+	out := make([]T, 0, n)
+	for scanned, batch := 0, 1; scanned < r.parts && len(out) < n; batch *= 4 {
+		base := scanned
+		end := base + batch
+		if end > r.parts {
+			end = r.parts
+		}
+		parts := make([][]T, end-base)
+		err := r.ctx.runStage(end-base, func(tc *TaskContext) error {
+			data, err := r.partition(base+tc.Partition, tc)
+			if err != nil {
+				return err
+			}
+			parts[tc.Partition] = data
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		scanned = end
 	}
-	return all, nil
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
 }
 
 // First returns the first element or an error if the RDD is empty.

@@ -196,6 +196,40 @@ func TestTakeFirst(t *testing.T) {
 	}
 }
 
+func TestTakeScansIncrementally(t *testing.T) {
+	ctx := newTestContext(t, 4)
+	// 100 elements over 10 partitions: Take(5) must be satisfied by the
+	// first partition alone, so the Map below should never see the rest.
+	var processed atomic.Int64
+	r := Map(Parallelize(ctx, intsUpTo(100), 10), func(v int) int {
+		processed.Add(1)
+		return v
+	})
+	got, err := r.Take(5)
+	if err != nil || !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("take got %v err %v", got, err)
+	}
+	if n := processed.Load(); n >= 100 {
+		t.Fatalf("Take materialised all %d elements; want an incremental scan", n)
+	}
+	// Larger n spans several ramp-up rounds but still stops early.
+	processed.Store(0)
+	got, err = r.Take(35)
+	if err != nil || len(got) != 35 {
+		t.Fatalf("take(35) got %d elements err %v", len(got), err)
+	}
+	if n := processed.Load(); n >= 100 {
+		t.Fatalf("Take(35) materialised all %d elements", n)
+	}
+	// Oversized and non-positive n degrade gracefully.
+	if got, err := r.Take(1000); err != nil || len(got) != 100 {
+		t.Fatalf("take(1000) got %d err %v", len(got), err)
+	}
+	if got, err := r.Take(0); err != nil || len(got) != 0 {
+		t.Fatalf("take(0) got %v err %v", got, err)
+	}
+}
+
 func TestCoalesce(t *testing.T) {
 	ctx := newTestContext(t, 4)
 	r := Parallelize(ctx, intsUpTo(20), 8)

@@ -9,6 +9,7 @@ import (
 	"sparker/internal/blocking"
 	"sparker/internal/core"
 	"sparker/internal/evaluation"
+	"sparker/internal/kernel"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
 	"sparker/internal/profile"
@@ -58,6 +59,30 @@ type candAcc struct {
 	entropySum float64
 	entArcs    float64
 }
+
+// queryScratch is the flat-array candidate kernel of the query hot path:
+// the shared dense, epoch-stamped scratch primitive the meta-blocker
+// uses, instantiated with the candidate accumulator and indexed by the
+// index's dense internal profile IDs. Scratches are pooled on the Index
+// (sync.Pool is per-P sharded, so concurrent queries never contend),
+// replacing the historical map[profile.ID]candAcc that re-allocated and
+// re-hashed per query. Kernel growth (Slot's Ensure path) also covers
+// concurrent upserts appending fresh profiles to a posting between the
+// size probe and the scan.
+type queryScratch = kernel.Scratch[candAcc]
+
+// getScratch leases a query scratch sized for the current ID space.
+func (x *Index) getScratch() *queryScratch {
+	s, _ := x.scratchPool.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	s.Ensure(int(x.idBound.Load()))
+	s.Begin()
+	return s
+}
+
+func (x *Index) putScratch(s *queryScratch) { x.scratchPool.Put(s) }
 
 // Query ranks the candidate matches of p by probing only the postings its
 // blocking keys hit. p does not need to be indexed; when it is (same
@@ -134,10 +159,11 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 	}
 
 	// Pass 2 — scan the surviving postings, accumulating co-occurrence
-	// statistics per candidate. The accumulator map holds values, not
-	// pointers: queries are the hot path and per-candidate allocations
-	// dominate their profile otherwise.
-	acc := make(map[profile.ID]candAcc)
+	// statistics per candidate in the pooled flat scratch: queries are the
+	// hot path, and the dense kernel does no per-candidate hashing or
+	// allocation at all.
+	sc := x.getScratch()
+	defer x.putScratch(sc)
 	useEntropy := x.cfg.Entropy != nil
 	for _, pr := range probes {
 		s := pr.sh
@@ -159,12 +185,11 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 				if id == selfID {
 					continue
 				}
-				a := acc[id]
+				a := sc.Slot(id)
 				a.cbs++
 				a.arcs += 1 / card
 				a.entropySum += entropy
 				a.entArcs += entropy / card
-				acc[id] = a
 			}
 		}
 		if x.clean {
@@ -181,15 +206,15 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 	}
 
 	res.selfID = selfID
-	res.Candidates = x.weigh(liveKeys, acc)
+	res.Candidates = x.weigh(liveKeys, sc)
 	res.Pruned = x.prune(res)
 	return res
 }
 
 // weigh converts the accumulated co-occurrence statistics into ranked
 // weighted candidates using the configured meta-blocking scheme.
-func (x *Index) weigh(queryKeys int, acc map[profile.ID]candAcc) []Candidate {
-	if len(acc) == 0 {
+func (x *Index) weigh(queryKeys int, sc *queryScratch) []Candidate {
+	if len(sc.Touched()) == 0 {
 		return nil
 	}
 	numBlocks := float64(x.numBlocks.Load())
@@ -200,9 +225,10 @@ func (x *Index) weigh(queryKeys int, acc map[profile.ID]candAcc) []Candidate {
 	case metablocking.ECBS, metablocking.JS, metablocking.EJS:
 		needsCandKeys = true
 	}
-	out := make([]Candidate, 0, len(acc))
+	out := make([]Candidate, 0, len(sc.Touched()))
 	x.mu.RLock()
-	for id, a := range acc {
+	for _, id := range sc.Touched() {
+		a := sc.At(id)
 		candKeys := 0
 		if needsCandKeys {
 			if sp := x.byID[id]; sp != nil {
@@ -228,7 +254,7 @@ func (x *Index) weigh(queryKeys int, acc map[profile.ID]candAcc) []Candidate {
 // weight mirrors metablocking's edge weighting for one query/candidate
 // pair. EJS needs the full graph's node degrees, which an online index
 // does not maintain, so it degrades to JS.
-func (x *Index) weight(a candAcc, queryKeys, candKeys int, numBlocks float64) float64 {
+func (x *Index) weight(a *candAcc, queryKeys, candKeys int, numBlocks float64) float64 {
 	cbs := float64(a.cbs)
 	if cbs == 0 {
 		return 0
@@ -331,11 +357,30 @@ func (x *Index) Resolve(p *profile.Profile) *Resolution {
 	}
 	x.mu.RUnlock()
 
-	for _, c := range cands {
-		r.Comparisons++
-		score := x.cfg.Measure(p, &c.sp.p)
-		if score >= x.cfg.MatchThreshold {
-			r.Matches = append(r.Matches, matching.Match{A: queryID, B: c.id, Score: score})
+	if x.cfg.defaultJaccard {
+		// Default-Jaccard fast path: candidates carry their distinct token
+		// bag from upsert time, so the query is tokenized once and each
+		// comparison is a set intersection — bitwise-identical scores to
+		// matching.JaccardMeasure with none of its per-pair tokenization.
+		qbag := matching.ProfileBag(p, x.cfg.Tokenizer)
+		qset := make(map[string]struct{}, len(qbag))
+		for _, t := range qbag {
+			qset[t] = struct{}{}
+		}
+		for _, c := range cands {
+			r.Comparisons++
+			score := jaccardBagSet(qset, c.sp.bag)
+			if score >= x.cfg.MatchThreshold {
+				r.Matches = append(r.Matches, matching.Match{A: queryID, B: c.id, Score: score})
+			}
+		}
+	} else {
+		for _, c := range cands {
+			r.Comparisons++
+			score := x.cfg.Measure(p, &c.sp.p)
+			if score >= x.cfg.MatchThreshold {
+				r.Matches = append(r.Matches, matching.Match{A: queryID, B: c.id, Score: score})
+			}
 		}
 	}
 	sort.Slice(r.Matches, func(i, j int) bool {
@@ -345,6 +390,23 @@ func (x *Index) Resolve(p *profile.Profile) *Resolution {
 		return r.Matches[i].B < r.Matches[j].B
 	})
 	return r
+}
+
+// jaccardBagSet computes |A∩B|/|A∪B| of a query token set against a
+// candidate's cached distinct bag, matching matching.JaccardTokens bit
+// for bit (same cardinalities, same division).
+func jaccardBagSet(qset map[string]struct{}, bag []string) float64 {
+	inter := 0
+	for _, t := range bag {
+		if _, ok := qset[t]; ok {
+			inter++
+		}
+	}
+	union := len(qset) + len(bag) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
 }
 
 // Report evaluates the resolution against a ground truth, producing the

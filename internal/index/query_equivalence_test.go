@@ -1,0 +1,270 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"sparker/internal/matching"
+	"sparker/internal/metablocking"
+	"sparker/internal/profile"
+)
+
+// This file retains the pre-flat-kernel map-based candidate accumulator
+// as a reference and proves the query hot path's dense scratch is an
+// exact drop-in: candidate sets, order, and weights must be
+// bitwise-identical for every scheme × prune rule × task type, with and
+// without entropy weighting.
+
+// refCandidates replicates Query on the historical map accumulator path.
+func refCandidates(x *Index, p *profile.Profile) []Candidate {
+	if !x.clean && p.SourceID != 0 {
+		q := *p
+		q.SourceID = 0
+		p = &q
+	}
+	keys := x.opts.KeysOf(p)
+
+	selfID := profile.ID(-1)
+	if id, ok := x.lookupOrig(origKey(p)); ok {
+		selfID = id
+	}
+	maxSize := int(x.cfg.MaxBlockFraction * float64(x.numProfiles.Load()))
+	if maxSize < 2 {
+		maxSize = 2
+	}
+
+	type probe struct {
+		key  string
+		sh   *shard
+		size int
+	}
+	probes := make([]probe, 0, len(keys))
+	for _, kt := range keys {
+		s := x.shardFor(kt.Key)
+		s.mu.RLock()
+		pl := s.postings[kt.Key]
+		sz := 0
+		if pl != nil {
+			sz = pl.size()
+		}
+		s.mu.RUnlock()
+		if pl == nil || sz > maxSize {
+			continue
+		}
+		probes = append(probes, probe{key: kt.Key, sh: s, size: sz})
+	}
+	liveKeys := len(probes)
+	if x.cfg.FilterRatio < 1 && len(probes) > 0 {
+		sort.SliceStable(probes, func(i, j int) bool {
+			if probes[i].size != probes[j].size {
+				return probes[i].size < probes[j].size
+			}
+			return probes[i].key < probes[j].key
+		})
+		keep := int(math.Ceil(x.cfg.FilterRatio * float64(len(probes))))
+		if keep < 1 {
+			keep = 1
+		}
+		probes = probes[:keep]
+	}
+
+	acc := make(map[profile.ID]candAcc)
+	useEntropy := x.cfg.Entropy != nil
+	for _, pr := range probes {
+		s := pr.sh
+		s.mu.RLock()
+		pl := s.postings[pr.key]
+		if pl == nil {
+			s.mu.RUnlock()
+			continue
+		}
+		entropy := 1.0
+		if useEntropy {
+			entropy = x.cfg.Entropy.EntropyOf(pl.cluster)
+		}
+		card := pl.comparisons(x.clean)
+		visit := func(ids []profile.ID) {
+			for _, id := range ids {
+				if id == selfID {
+					continue
+				}
+				a := acc[id]
+				a.cbs++
+				a.arcs += 1 / card
+				a.entropySum += entropy
+				a.entArcs += entropy / card
+				acc[id] = a
+			}
+		}
+		if x.clean {
+			if p.SourceID == 1 {
+				visit(pl.a)
+			} else {
+				visit(pl.b)
+			}
+		} else {
+			visit(pl.a)
+		}
+		s.mu.RUnlock()
+	}
+
+	numBlocks := float64(x.numBlocks.Load())
+	needsCandKeys := false
+	switch x.cfg.Scheme {
+	case metablocking.ECBS, metablocking.JS, metablocking.EJS:
+		needsCandKeys = true
+	}
+	out := make([]Candidate, 0, len(acc))
+	for id, a := range acc {
+		a := a
+		candKeys := 0
+		if needsCandKeys {
+			if sp := x.byID[id]; sp != nil {
+				candKeys = len(sp.keys)
+			}
+		}
+		out = append(out, Candidate{ID: id, Weight: x.weight(&a, liveKeys, candKeys, numBlocks), SharedKeys: a.cbs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	res := &QueryResult{Candidates: out}
+	x.prune(res)
+	return res.Candidates
+}
+
+// lenClustering assigns attribute clusters by name length, giving the
+// entropy path varied cluster IDs without a full loose-schema run.
+type lenClustering struct{}
+
+func (lenClustering) ClusterOf(_ int, attribute string) int { return len(attribute) % 3 }
+
+type rampEntropy struct{}
+
+func (rampEntropy) EntropyOf(cluster int) float64 { return 0.25 + 0.4*float64(cluster+2) }
+
+// synthQueryProfiles builds overlapping-token profiles across sources.
+func synthQueryProfiles(n, sources int, seed uint64) []profile.Profile {
+	next := seed*2654435761 + 1
+	rnd := func(mod int) int {
+		next = next*6364136223846793005 + 1442695040888963407
+		return int((next >> 33) % uint64(mod))
+	}
+	out := make([]profile.Profile, 0, n)
+	for i := 0; i < n; i++ {
+		p := profile.Profile{OriginalID: fmt.Sprintf("p%d", i), SourceID: i % sources}
+		name := fmt.Sprintf("tok%d tok%d shared%d", rnd(12), rnd(12), rnd(4))
+		p.Add("name", name)
+		p.Add("desc", fmt.Sprintf("word%d common", rnd(8)))
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestQueryMatchesMapReference(t *testing.T) {
+	for _, clean := range []bool{false, true} {
+		sources := 1
+		if clean {
+			sources = 2
+		}
+		for _, useEntropy := range []bool{false, true} {
+			for _, scheme := range []metablocking.Scheme{metablocking.CBS, metablocking.ECBS, metablocking.JS, metablocking.ARCS} {
+				for _, rule := range []PruneRule{PruneTopK, PruneMean, PruneNone} {
+					cfg := DefaultConfig()
+					cfg.Scheme = scheme
+					cfg.Prune = rule
+					if useEntropy {
+						cfg.Clustering = lenClustering{}
+						cfg.Entropy = rampEntropy{}
+					}
+					x := New(clean, cfg)
+					for _, p := range synthQueryProfiles(60, sources, 5) {
+						if _, _, err := x.Upsert(p); err != nil {
+							t.Fatal(err)
+						}
+					}
+					label := fmt.Sprintf("clean=%v entropy=%v %v/%v", clean, useEntropy, scheme, rule)
+					for _, p := range synthQueryProfiles(60, sources, 5) {
+						p := p
+						want := refCandidates(x, &p)
+						got := x.Query(&p).Candidates
+						if len(want) != len(got) {
+							t.Fatalf("%s query %s: %d candidates, reference %d", label, p.OriginalID, len(got), len(want))
+						}
+						for i := range want {
+							if want[i].ID != got[i].ID || want[i].SharedKeys != got[i].SharedKeys ||
+								math.Float64bits(want[i].Weight) != math.Float64bits(got[i].Weight) {
+								t.Fatalf("%s query %s candidate %d: %+v vs reference %+v",
+									label, p.OriginalID, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResolveFastPathMatchesJaccardMeasure proves the cached-bag scorer
+// is bitwise-identical to the generic matching.JaccardMeasure path.
+func TestResolveFastPathMatchesJaccardMeasure(t *testing.T) {
+	fastCfg := DefaultConfig() // Measure nil: fast path
+	slowCfg := DefaultConfig()
+	slowCfg.Measure = matching.JaccardMeasure(slowCfg.Tokenizer)
+	slowCfg.MatchThreshold = -1 // keep every scored candidate
+	fastCfg.MatchThreshold = -1
+	fast := New(false, fastCfg)
+	slow := New(false, slowCfg)
+	for _, p := range synthQueryProfiles(80, 1, 13) {
+		if _, _, err := fast.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := slow.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range synthQueryProfiles(80, 1, 13) {
+		p := p
+		fr := fast.Resolve(&p)
+		sr := slow.Resolve(&p)
+		if fr.Comparisons != sr.Comparisons || len(fr.Matches) != len(sr.Matches) {
+			t.Fatalf("query %s: fast %d matches/%d comparisons, slow %d/%d",
+				p.OriginalID, len(fr.Matches), fr.Comparisons, len(sr.Matches), sr.Comparisons)
+		}
+		for i := range fr.Matches {
+			if fr.Matches[i].B != sr.Matches[i].B ||
+				math.Float64bits(fr.Matches[i].Score) != math.Float64bits(sr.Matches[i].Score) {
+				t.Fatalf("query %s match %d: fast %+v vs slow %+v",
+					p.OriginalID, i, fr.Matches[i], sr.Matches[i])
+			}
+		}
+	}
+}
+
+// TestQueryScratchGrowsWithUpserts interleaves queries with upserts that
+// extend the ID space, exercising the scratch ensure/grow path.
+func TestQueryScratchGrowsWithUpserts(t *testing.T) {
+	x := New(false, DefaultConfig())
+	batch := synthQueryProfiles(120, 1, 9)
+	for i, p := range batch {
+		if _, _, err := x.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+		q := batch[i/2]
+		want := refCandidates(x, &q)
+		got := x.Query(&q).Candidates
+		if len(want) != len(got) {
+			t.Fatalf("after %d upserts: %d candidates, reference %d", i+1, len(got), len(want))
+		}
+		for j := range want {
+			if want[j].ID != got[j].ID || math.Float64bits(want[j].Weight) != math.Float64bits(got[j].Weight) {
+				t.Fatalf("after %d upserts candidate %d: %+v vs %+v", i+1, j, got[j], want[j])
+			}
+		}
+	}
+}

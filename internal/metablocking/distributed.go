@@ -60,20 +60,22 @@ func RunDistributed(ctx *dataflow.Context, idx *blocking.Index, opts Options, nu
 }
 
 // emitEdges materialises neighbourhoods partition-locally and emits each
-// undirected edge once, applying keep.
+// undirected edge once, applying keep. Each dataflow task leases one flat
+// scratch from the broadcast context's pool for its whole partition.
 func emitEdges(bg *dataflow.Broadcast[*graphContext], nodes *dataflow.RDD[profile.ID],
 	keep func(a, b profile.ID, w float64) bool) *dataflow.RDD[Edge] {
 	return dataflow.MapPartitions(nodes, func(part []profile.ID) ([]Edge, error) {
 		g := bg.Value()
-		acc := map[profile.ID]*edgeAccumulator{}
+		s := g.scratch.get()
+		defer g.scratch.put(s)
 		var out []Edge
 		for _, id := range part {
-			g.neighbourhood(id, acc)
-			for other, ea := range acc {
+			g.neighbourhood(id, s)
+			for _, other := range s.Touched() {
 				if other < id {
 					continue
 				}
-				if w := g.weight(id, other, ea); keep(id, other, w) {
+				if w := g.weight(id, other, s.At(other)); keep(id, other, w) {
 					out = append(out, Edge{A: id, B: other, Weight: w})
 				}
 			}
@@ -102,10 +104,11 @@ func distWEP(ctx *dataflow.Context, bg *dataflow.Broadcast[*graphContext], nodes
 	// sequential implementation uses, so thresholds match bitwise.
 	partials, err := dataflow.MapPartitions(nodes, func(part []profile.ID) ([]dataflow.KV[profile.ID, sumCount], error) {
 		g := bg.Value()
-		acc := map[profile.ID]*edgeAccumulator{}
+		sc := g.scratch.get()
+		defer g.scratch.put(sc)
 		var out []dataflow.KV[profile.ID, sumCount]
 		for _, id := range part {
-			s, n := nodePartialSum(g.weightedNeighbours(id, acc), id)
+			s, n := nodePartialSum(g.weightedNeighbours(id, sc), id)
 			if n > 0 {
 				out = append(out, dataflow.KV[profile.ID, sumCount]{Key: id, Value: sumCount{Sum: s, Count: n}})
 			}
@@ -136,15 +139,16 @@ func distCEP(ctx *dataflow.Context, bg *dataflow.Broadcast[*graphContext], nodes
 	// Stage 1: collect the weight distribution (weights only, not edges).
 	weights, err := dataflow.MapPartitions(nodes, func(part []profile.ID) ([]float64, error) {
 		g := bg.Value()
-		acc := map[profile.ID]*edgeAccumulator{}
+		s := g.scratch.get()
+		defer g.scratch.put(s)
 		var out []float64
 		for _, id := range part {
-			g.neighbourhood(id, acc)
-			for other, ea := range acc {
+			g.neighbourhood(id, s)
+			for _, other := range s.Touched() {
 				if other < id {
 					continue
 				}
-				out = append(out, g.weight(id, other, ea))
+				out = append(out, g.weight(id, other, s.At(other)))
 			}
 		}
 		return out, nil
@@ -170,10 +174,11 @@ func distNodeThreshold(ctx *dataflow.Context, bg *dataflow.Broadcast[*graphConte
 	// Stage 1: per-node thresholds, computed where the node lives.
 	thresholdKVs, err := dataflow.MapPartitions(nodes, func(part []profile.ID) ([]dataflow.KV[profile.ID, float64], error) {
 		g := bg.Value()
-		acc := map[profile.ID]*edgeAccumulator{}
+		s := g.scratch.get()
+		defer g.scratch.put(s)
 		var out []dataflow.KV[profile.ID, float64]
 		for _, id := range part {
-			nws := g.weightedNeighbours(id, acc)
+			nws := g.weightedNeighbours(id, s)
 			if len(nws) == 0 {
 				continue
 			}
@@ -184,7 +189,9 @@ func distNodeThreshold(ctx *dataflow.Context, bg *dataflow.Broadcast[*graphConte
 	if err != nil {
 		return nil, err
 	}
-	thresholds := make(map[profile.ID]float64, len(thresholdKVs))
+	// Dense by profile ID: the pruning pass reads two thresholds per edge,
+	// and an array load beats a hash lookup on the hottest loop.
+	thresholds := make([]float64, bg.Value().scratch.n)
 	for _, kv := range thresholdKVs {
 		thresholds[kv.Key] = kv.Value
 	}
@@ -206,21 +213,22 @@ func distCNP(ctx *dataflow.Context, bg *dataflow.Broadcast[*graphContext], nodes
 	// Stage 1: per-node k-th largest weight.
 	kthKVs, err := dataflow.MapPartitions(nodes, func(part []profile.ID) ([]dataflow.KV[profile.ID, float64], error) {
 		g := bg.Value()
-		acc := map[profile.ID]*edgeAccumulator{}
+		s := g.scratch.get()
+		defer g.scratch.put(s)
 		var out []dataflow.KV[profile.ID, float64]
 		for _, id := range part {
-			nws := g.weightedNeighbours(id, acc)
+			nws := g.weightedNeighbours(id, s)
 			if len(nws) == 0 {
 				continue
 			}
-			out = append(out, dataflow.KV[profile.ID, float64]{Key: id, Value: kthLargestWeight(nws, k)})
+			out = append(out, dataflow.KV[profile.ID, float64]{Key: id, Value: s.kthLargestWeight(nws, k)})
 		}
 		return out, nil
 	}).Collect()
 	if err != nil {
 		return nil, err
 	}
-	kth := make(map[profile.ID]float64, len(kthKVs))
+	kth := make([]float64, bg.Value().scratch.n)
 	for _, kv := range kthKVs {
 		kth[kv.Key] = kv.Value
 	}

@@ -50,10 +50,11 @@ func Explain(idx *blocking.Index, opts Options, a, b profile.ID) PairExplanation
 
 	// Shared blocks.
 	inA := map[int32]bool{}
-	for _, bi := range idx.BlocksOf[a] {
-		inA[bi] = true
+	for _, ref := range idx.BlocksOf[a] {
+		inA[ref.Ordinal()] = true
 	}
-	for _, bi := range idx.BlocksOf[b] {
+	for _, ref := range idx.BlocksOf[b] {
+		bi := ref.Ordinal()
 		if !inA[bi] {
 			continue
 		}
@@ -73,9 +74,10 @@ func Explain(idx *blocking.Index, opts Options, a, b profile.ID) PairExplanation
 	}
 
 	// Weight via the edge accumulator of a's neighbourhood.
-	acc := map[profile.ID]*edgeAccumulator{}
-	g.neighbourhood(a, acc)
-	ea := acc[b]
+	s := g.scratch.get()
+	defer g.scratch.put(s)
+	g.neighbourhood(a, s)
+	ea := s.Lookup(b)
 	if ea == nil {
 		return out
 	}
@@ -84,9 +86,9 @@ func Explain(idx *blocking.Index, opts Options, a, b profile.ID) PairExplanation
 	switch opts.Pruning {
 	case WNP, ReciprocalWNP, BlastPruning:
 		blast := opts.Pruning == BlastPruning
-		nwsA := g.weightedNeighbours(a, acc)
+		nwsA := g.weightedNeighbours(a, s)
 		out.ThresholdA = nodeThreshold(nwsA, blast)
-		nwsB := g.weightedNeighbours(b, acc)
+		nwsB := g.weightedNeighbours(b, s)
 		out.ThresholdB = nodeThreshold(nwsB, blast)
 		okA := out.Weight >= out.ThresholdA
 		okB := out.Weight >= out.ThresholdB

@@ -73,14 +73,15 @@ func TestExplainUnrelatedPair(t *testing.T) {
 	// Find two profiles with no shared block.
 	ids := idx.ProfileIDs()
 	g := newGraphContext(idx, Options{Scheme: CBS})
-	acc := map[profile.ID]*edgeAccumulator{}
+	s := g.scratch.get()
+	defer g.scratch.put(s)
 	for _, a := range ids {
-		g.neighbourhood(a, acc)
+		g.neighbourhood(a, s)
 		for _, b := range ids {
 			if b <= a {
 				continue
 			}
-			if _, connected := acc[b]; !connected {
+			if s.Lookup(b) == nil {
 				ex := Explain(idx, Options{Scheme: CBS, Pruning: WNP}, a, b)
 				if len(ex.CommonBlocks) != 0 || ex.Weight != 0 || ex.Retained {
 					t.Fatalf("unrelated pair explained as related: %+v", ex)

@@ -17,7 +17,6 @@ package metablocking
 
 import (
 	"math"
-	"sort"
 
 	"sparker/internal/blocking"
 	"sparker/internal/profile"
@@ -143,8 +142,11 @@ type graphContext struct {
 	entropy    []float64 // per block: cluster entropy (1 when disabled)
 	useEntropy bool
 	scheme     Scheme
-	// EJS support, filled lazily.
-	degrees    map[profile.ID]int
+	// scratch leases flat neighbourhood kernels sized maxID+1; the pool is
+	// shared by every dataflow task when the context is broadcast.
+	scratch scratchPool
+	// EJS support, filled lazily: degrees is dense, indexed by profile ID.
+	degrees    []int32
 	totalEdges float64
 }
 
@@ -158,6 +160,7 @@ func newGraphContext(idx *blocking.Index, opts Options) *graphContext {
 		useEntropy: opts.Entropy != nil,
 		scheme:     opts.Scheme,
 	}
+	g.scratch.n = int(idx.MaxProfileID()) + 1
 	for i := range blocks {
 		c := blocks[i].Comparisons()
 		if c < 1 {
@@ -174,43 +177,32 @@ func newGraphContext(idx *blocking.Index, opts Options) *graphContext {
 }
 
 // neighbourhood materialises the weighted neighbourhood of node id into
-// acc (cleared first). Pairs within the same source of a clean-clean task
-// are skipped.
-func (g *graphContext) neighbourhood(id profile.ID, acc map[profile.ID]*edgeAccumulator) {
-	for k := range acc {
-		delete(acc, k)
-	}
+// the flat scratch (cleared first via its epoch). Pairs within the same
+// source of a clean-clean task are skipped: each BlockRef carries the
+// profile's side, so the kernel reads the opposite side of every block
+// directly instead of scanning for the profile's membership.
+func (g *graphContext) neighbourhood(id profile.ID, s *neighbourScratch) {
+	s.Begin()
 	col := g.idx.Blocks
-	for _, bi := range g.idx.BlocksOf[id] {
+	for _, ref := range g.idx.BlocksOf[id] {
+		bi := ref.Ordinal()
 		b := &col.Blocks[bi]
-		visit := func(other profile.ID) {
-			if other == id {
-				return
-			}
-			a := acc[other]
-			if a == nil {
-				a = &edgeAccumulator{}
-				acc[other] = a
-			}
-			a.cbs++
-			a.arcs += 1 / g.comparison[bi]
-			a.entropySum += g.entropy[bi]
-			a.entArcs += g.entropy[bi] / g.comparison[bi]
+		others := b.A
+		if col.CleanClean && !ref.SideB() {
+			others = b.B
 		}
-		if col.CleanClean {
-			if containsID(b.A, id) {
-				for _, o := range b.B {
-					visit(o)
-				}
-			} else {
-				for _, o := range b.A {
-					visit(o)
-				}
+		arcs := 1 / g.comparison[bi]
+		ent := g.entropy[bi]
+		entArcs := ent / g.comparison[bi]
+		for _, other := range others {
+			if other == id {
+				continue
 			}
-		} else {
-			for _, o := range b.A {
-				visit(o)
-			}
+			a := s.Slot(other)
+			a.cbs++
+			a.arcs += arcs
+			a.entropySum += ent
+			a.entArcs += entArcs
 		}
 	}
 }
@@ -225,24 +217,18 @@ type neighbourWeight struct {
 }
 
 // weightedNeighbours materialises the neighbourhood of id and returns its
-// weighted edges sorted by neighbour ID.
-func (g *graphContext) weightedNeighbours(id profile.ID, acc map[profile.ID]*edgeAccumulator) []neighbourWeight {
-	g.neighbourhood(id, acc)
-	out := make([]neighbourWeight, 0, len(acc))
-	for other, ea := range acc {
-		out = append(out, neighbourWeight{id: other, w: g.weight(id, other, ea)})
+// weighted edges sorted by neighbour ID. The returned slice aliases the
+// scratch's reusable buffer: consume it before the next call on the same
+// scratch.
+func (g *graphContext) weightedNeighbours(id profile.ID, s *neighbourScratch) []neighbourWeight {
+	g.neighbourhood(id, s)
+	s.SortTouched()
+	out := s.nws[:0]
+	for _, other := range s.Touched() {
+		out = append(out, neighbourWeight{id: other, w: g.weight(id, other, s.At(other))})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	s.nws = out
 	return out
-}
-
-func containsID(ids []profile.ID, id profile.ID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
 }
 
 // weight computes the scheme weight of the edge (a, b) from its
@@ -318,15 +304,18 @@ func LogRatio(total, part float64) float64 {
 func needsDegrees(s Scheme) bool { return s == EJS }
 
 // computeDegrees fills g.degrees and g.totalEdges with the node degrees of
-// the full (unpruned) blocking graph.
+// the full (unpruned) blocking graph. With the flat kernel a degree is
+// just the touched-list length, so the EJS pre-pass allocates nothing
+// beyond the dense degree array itself.
 func (g *graphContext) computeDegrees(ids []profile.ID) {
-	g.degrees = make(map[profile.ID]int, len(ids))
-	acc := map[profile.ID]*edgeAccumulator{}
+	g.degrees = make([]int32, g.scratch.n)
+	s := g.scratch.get()
+	defer g.scratch.put(s)
 	var total float64
 	for _, id := range ids {
-		g.neighbourhood(id, acc)
-		g.degrees[id] = len(acc)
-		total += float64(len(acc))
+		g.neighbourhood(id, s)
+		g.degrees[id] = int32(len(s.Touched()))
+		total += float64(len(s.Touched()))
 	}
 	g.totalEdges = total / 2
 	if g.totalEdges < 1 {

@@ -103,10 +103,11 @@ func scheduleProfiles(g *graphContext, ids []profile.ID) []Edge {
 		edges []Edge
 		next  int
 	}
-	acc := map[profile.ID]*edgeAccumulator{}
+	s := g.scratch.get()
+	defer g.scratch.put(s)
 	nodes := make([]*nodeSchedule, 0, len(ids))
 	for _, id := range ids {
-		nws := g.weightedNeighbours(id, acc)
+		nws := g.weightedNeighbours(id, s)
 		if len(nws) == 0 {
 			continue
 		}

@@ -1,0 +1,456 @@
+package metablocking
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sparker/internal/blocking"
+	"sparker/internal/dataflow"
+	"sparker/internal/profile"
+)
+
+// This file retains the pre-flat-kernel map-based meta-blocker as a
+// reference implementation and proves, property-style, that the flat
+// neighbourhood kernel is an exact drop-in: pruned edge sets AND weights
+// must be bitwise-identical across every scheme × pruning rule ×
+// clean-clean/dirty × entropy-on/off combination. The reference
+// deliberately keeps the old shapes — map accumulators, a containsID
+// linear scan instead of the BlockRef side bit, map degrees and map
+// thresholds — so the two code paths share as little as possible.
+
+// refGraph mirrors the historical graphContext.
+type refGraph struct {
+	idx        *blocking.Index
+	numBlocks  float64
+	comparison []float64
+	entropy    []float64
+	useEntropy bool
+	scheme     Scheme
+	degrees    map[profile.ID]int
+	totalEdges float64
+}
+
+func newRefGraph(idx *blocking.Index, opts Options) *refGraph {
+	blocks := idx.Blocks.Blocks
+	g := &refGraph{
+		idx:        idx,
+		numBlocks:  float64(len(blocks)),
+		comparison: make([]float64, len(blocks)),
+		entropy:    make([]float64, len(blocks)),
+		useEntropy: opts.Entropy != nil,
+		scheme:     opts.Scheme,
+	}
+	for i := range blocks {
+		c := blocks[i].Comparisons()
+		if c < 1 {
+			c = 1
+		}
+		g.comparison[i] = float64(c)
+		if g.useEntropy {
+			g.entropy[i] = opts.Entropy.EntropyOf(blocks[i].ClusterID)
+		} else {
+			g.entropy[i] = 1
+		}
+	}
+	return g
+}
+
+func refContainsID(ids []profile.ID, id profile.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *refGraph) neighbourhood(id profile.ID, acc map[profile.ID]*edgeAccumulator) {
+	for k := range acc {
+		delete(acc, k)
+	}
+	col := g.idx.Blocks
+	for _, ref := range g.idx.BlocksOf[id] {
+		bi := ref.Ordinal()
+		b := &col.Blocks[bi]
+		visit := func(other profile.ID) {
+			if other == id {
+				return
+			}
+			a := acc[other]
+			if a == nil {
+				a = &edgeAccumulator{}
+				acc[other] = a
+			}
+			a.cbs++
+			a.arcs += 1 / g.comparison[bi]
+			a.entropySum += g.entropy[bi]
+			a.entArcs += g.entropy[bi] / g.comparison[bi]
+		}
+		if col.CleanClean {
+			if refContainsID(b.A, id) {
+				for _, o := range b.B {
+					visit(o)
+				}
+			} else {
+				for _, o := range b.A {
+					visit(o)
+				}
+			}
+		} else {
+			for _, o := range b.A {
+				visit(o)
+			}
+		}
+	}
+}
+
+func (g *refGraph) weight(a, b profile.ID, acc *edgeAccumulator) float64 {
+	cbs := float64(acc.cbs)
+	if cbs == 0 {
+		return 0
+	}
+	meanEntropy := acc.entropySum / cbs
+	switch g.scheme {
+	case CBS:
+		if g.useEntropy {
+			return acc.entropySum
+		}
+		return cbs
+	case ECBS:
+		w := cbs * LogRatio(g.numBlocks, float64(g.idx.NumBlocksOf(a))) *
+			LogRatio(g.numBlocks, float64(g.idx.NumBlocksOf(b)))
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case JS:
+		union := float64(g.idx.NumBlocksOf(a)) + float64(g.idx.NumBlocksOf(b)) - cbs
+		if union <= 0 {
+			return 0
+		}
+		w := cbs / union
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case EJS:
+		union := float64(g.idx.NumBlocksOf(a)) + float64(g.idx.NumBlocksOf(b)) - cbs
+		if union <= 0 {
+			return 0
+		}
+		w := cbs / union
+		da, db := float64(g.degrees[a]), float64(g.degrees[b])
+		w *= LogRatio(g.totalEdges, da) * LogRatio(g.totalEdges, db)
+		if g.useEntropy {
+			w *= meanEntropy
+		}
+		return w
+	case ARCS:
+		if g.useEntropy {
+			return acc.entArcs
+		}
+		return acc.arcs
+	}
+	return 0
+}
+
+func (g *refGraph) weightedNeighbours(id profile.ID, acc map[profile.ID]*edgeAccumulator) []neighbourWeight {
+	g.neighbourhood(id, acc)
+	out := make([]neighbourWeight, 0, len(acc))
+	for other, ea := range acc {
+		out = append(out, neighbourWeight{id: other, w: g.weight(id, other, ea)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (g *refGraph) computeDegrees(ids []profile.ID) {
+	g.degrees = make(map[profile.ID]int, len(ids))
+	acc := map[profile.ID]*edgeAccumulator{}
+	var total float64
+	for _, id := range ids {
+		g.neighbourhood(id, acc)
+		g.degrees[id] = len(acc)
+		total += float64(len(acc))
+	}
+	g.totalEdges = total / 2
+	if g.totalEdges < 1 {
+		g.totalEdges = 1
+	}
+}
+
+func (g *refGraph) forEachEdge(ids []profile.ID, fn func(a, b profile.ID, w float64)) {
+	acc := map[profile.ID]*edgeAccumulator{}
+	for _, id := range ids {
+		for _, nw := range g.weightedNeighbours(id, acc) {
+			if nw.id < id {
+				continue
+			}
+			fn(id, nw.id, nw.w)
+		}
+	}
+}
+
+func refKthLargestWeight(nws []neighbourWeight, k int) float64 {
+	weights := make([]float64, len(nws))
+	for i, nw := range nws {
+		weights[i] = nw.w
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
+	if k > len(weights) {
+		k = len(weights)
+	}
+	return weights[k-1]
+}
+
+// refRun is the pre-refactor sequential Run, on the map path end to end.
+func refRun(idx *blocking.Index, opts Options) []Edge {
+	ids := idx.ProfileIDs()
+	g := newRefGraph(idx, opts)
+	if needsDegrees(opts.Scheme) {
+		g.computeDegrees(ids)
+	}
+	acc := map[profile.ID]*edgeAccumulator{}
+
+	emit := func(keep func(a, b profile.ID, w float64) bool) []Edge {
+		var out []Edge
+		g.forEachEdge(ids, func(a, b profile.ID, w float64) {
+			if keep(a, b, w) {
+				out = append(out, Edge{A: a, B: b, Weight: w})
+			}
+		})
+		sortEdges(out)
+		return out
+	}
+
+	switch opts.Pruning {
+	case WEP:
+		var sum float64
+		var count int64
+		for _, id := range ids {
+			s, n := nodePartialSum(g.weightedNeighbours(id, acc), id)
+			sum += s
+			count += n
+		}
+		if count == 0 {
+			return nil
+		}
+		threshold := sum / float64(count)
+		return emit(func(_, _ profile.ID, w float64) bool { return w >= threshold })
+	case CEP:
+		k := opts.TopK
+		if k <= 0 {
+			k = defaultTopK(idx, CEP)
+		}
+		var weights []float64
+		g.forEachEdge(ids, func(_, _ profile.ID, w float64) { weights = append(weights, w) })
+		if len(weights) == 0 {
+			return nil
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
+		if k > len(weights) {
+			k = len(weights)
+		}
+		threshold := weights[k-1]
+		return emit(func(_, _ profile.ID, w float64) bool { return w >= threshold })
+	case WNP, ReciprocalWNP, BlastPruning:
+		blast := opts.Pruning == BlastPruning
+		thresholds := map[profile.ID]float64{}
+		for _, id := range ids {
+			nws := g.weightedNeighbours(id, acc)
+			if len(nws) == 0 {
+				continue
+			}
+			thresholds[id] = nodeThreshold(nws, blast)
+		}
+		reciprocal := opts.Pruning == ReciprocalWNP
+		return emit(func(a, b profile.ID, w float64) bool {
+			okA := w >= thresholds[a]
+			okB := w >= thresholds[b]
+			if reciprocal {
+				return okA && okB
+			}
+			return okA || okB
+		})
+	case CNP, ReciprocalCNP:
+		k := opts.TopK
+		if k <= 0 {
+			k = defaultTopK(idx, CNP)
+		}
+		kth := map[profile.ID]float64{}
+		for _, id := range ids {
+			nws := g.weightedNeighbours(id, acc)
+			if len(nws) == 0 {
+				continue
+			}
+			kth[id] = refKthLargestWeight(nws, k)
+		}
+		reciprocal := opts.Pruning == ReciprocalCNP
+		return emit(func(a, b profile.ID, w float64) bool {
+			okA := w >= kth[a]
+			okB := w >= kth[b]
+			if reciprocal {
+				return okA && okB
+			}
+			return okA || okB
+		})
+	}
+	return nil
+}
+
+// --- test fixtures ---
+
+// clusteredTestIndex builds a deterministic dirty or clean-clean block
+// index whose blocks carry varied cluster IDs, so the entropy-weighted
+// path sees non-uniform entropies.
+func clusteredTestIndex(n int, seed int64, clean bool) *blocking.Index {
+	next := uint64(seed)*2654435761 + 1
+	rnd := func(mod int) int {
+		next = next*6364136223846793005 + 1442695040888963407
+		return int((next >> 33) % uint64(mod))
+	}
+	numTokens := n/2 + 3
+	type sides struct{ a, b []profile.ID }
+	members := make([]sides, numTokens)
+	half := n / 2
+	for id := 0; id < n; id++ {
+		k := 2 + rnd(4)
+		seen := map[int]bool{}
+		for j := 0; j < k; j++ {
+			tok := rnd(numTokens)
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			if clean && id >= half {
+				members[tok].b = append(members[tok].b, profile.ID(id))
+			} else {
+				members[tok].a = append(members[tok].a, profile.ID(id))
+			}
+		}
+	}
+	col := &blocking.Collection{NumProfiles: n, CleanClean: clean}
+	for tok := 0; tok < numTokens; tok++ {
+		m := members[tok]
+		if len(m.a)+len(m.b) < 2 {
+			continue
+		}
+		if clean && (len(m.a) == 0 || len(m.b) == 0) {
+			continue
+		}
+		col.Blocks = append(col.Blocks, blocking.Block{
+			Key:        "t" + string(rune('a'+tok%26)) + string(rune('0'+tok/26%10)),
+			ClusterID:  tok % 5,
+			CleanClean: clean,
+			A:          m.a,
+			B:          m.b,
+		})
+	}
+	return blocking.BuildIndex(col)
+}
+
+// rampEntropy gives every attribute cluster a distinct entropy.
+type rampEntropy struct{}
+
+func (rampEntropy) EntropyOf(cluster int) float64 { return 0.25 + 0.4*float64(cluster+1) }
+
+func requireBitwiseEqual(t *testing.T, label string, want, got []Edge) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: edge count %d != reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].A != got[i].A || want[i].B != got[i].B {
+			t.Fatalf("%s: edge %d is (%d,%d), reference (%d,%d)",
+				label, i, got[i].A, got[i].B, want[i].A, want[i].B)
+		}
+		if math.Float64bits(want[i].Weight) != math.Float64bits(got[i].Weight) {
+			t.Fatalf("%s: edge %d (%d,%d) weight %x differs from reference %x (%g vs %g)",
+				label, i, want[i].A, want[i].B,
+				math.Float64bits(got[i].Weight), math.Float64bits(want[i].Weight),
+				got[i].Weight, want[i].Weight)
+		}
+	}
+}
+
+// TestFlatKernelMatchesMapReference is the equivalence property of the
+// flat-array kernel: for every scheme × pruning rule × task type ×
+// entropy setting, Run and RunDistributed return bitwise-identical edges
+// to the retained map-based reference.
+func TestFlatKernelMatchesMapReference(t *testing.T) {
+	ctx := dataflow.NewContext(dataflow.WithParallelism(3))
+	defer ctx.Close()
+	for _, clean := range []bool{false, true} {
+		for _, useEntropy := range []bool{false, true} {
+			idx := clusteredTestIndex(48, 11, clean)
+			for _, s := range allSchemes() {
+				for _, p := range allPrunings() {
+					opts := Options{Scheme: s, Pruning: p}
+					if useEntropy {
+						opts.Entropy = rampEntropy{}
+					}
+					label := map[bool]string{false: "dirty", true: "clean"}[clean] +
+						"/" + map[bool]string{false: "flat", true: "entropy"}[useEntropy] +
+						"/" + s.String() + "/" + p.String()
+					want := refRun(idx, opts)
+					requireBitwiseEqual(t, label+"/sequential", want, Run(idx, opts))
+					dist, err := RunDistributed(ctx, idx, opts, 4)
+					if err != nil {
+						t.Fatalf("%s: distributed: %v", label, err)
+					}
+					requireBitwiseEqual(t, label+"/distributed", want, dist)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatKernelNeighbourhoodsMatchReference pins the kernel itself: per
+// node, the flat scratch must reproduce the map accumulator's sorted
+// weighted neighbourhood bitwise, including the EJS degree pass.
+func TestFlatKernelNeighbourhoodsMatchReference(t *testing.T) {
+	for _, clean := range []bool{false, true} {
+		idx := clusteredTestIndex(40, 23, clean)
+		ids := idx.ProfileIDs()
+		for _, s := range allSchemes() {
+			opts := Options{Scheme: s, Entropy: rampEntropy{}}
+			g := newGraphContext(idx, opts)
+			rg := newRefGraph(idx, opts)
+			if needsDegrees(s) {
+				g.computeDegrees(ids)
+				rg.computeDegrees(ids)
+			}
+			sc := g.scratch.get()
+			acc := map[profile.ID]*edgeAccumulator{}
+			for _, id := range ids {
+				want := rg.weightedNeighbours(id, acc)
+				got := g.weightedNeighbours(id, sc)
+				if len(want) != len(got) {
+					t.Fatalf("%v node %d: %d neighbours, reference %d", s, id, len(got), len(want))
+				}
+				for i := range want {
+					if want[i].id != got[i].id || math.Float64bits(want[i].w) != math.Float64bits(got[i].w) {
+						t.Fatalf("%v node %d neighbour %d: (%d, %g) vs reference (%d, %g)",
+							s, id, i, got[i].id, got[i].w, want[i].id, want[i].w)
+					}
+				}
+			}
+			g.scratch.put(sc)
+		}
+	}
+}
+
+// TestFlatKernelScratchReuse runs two different graphs through one pooled
+// scratch path back to back, guarding against cross-run contamination of
+// the epoch-stamped slots.
+func TestFlatKernelScratchReuse(t *testing.T) {
+	a := clusteredTestIndex(30, 3, false)
+	b := clusteredTestIndex(30, 7, false)
+	for i := 0; i < 3; i++ {
+		requireBitwiseEqual(t, "reuse-a", refRun(a, Options{Scheme: JS, Pruning: WNP}),
+			Run(a, Options{Scheme: JS, Pruning: WNP}))
+		requireBitwiseEqual(t, "reuse-b", refRun(b, Options{Scheme: ECBS, Pruning: ReciprocalCNP}),
+			Run(b, Options{Scheme: ECBS, Pruning: ReciprocalCNP}))
+	}
+}

@@ -41,9 +41,10 @@ func Run(idx *blocking.Index, opts Options) []Edge {
 // forEachEdge materialises every node's neighbourhood and calls fn once
 // per undirected edge (a < b), in deterministic (a, b) order.
 func forEachEdge(g *graphContext, ids []profile.ID, fn func(a, b profile.ID, w float64)) {
-	acc := map[profile.ID]*edgeAccumulator{}
+	s := g.scratch.get()
+	defer g.scratch.put(s)
 	for _, id := range ids {
-		for _, nw := range g.weightedNeighbours(id, acc) {
+		for _, nw := range g.weightedNeighbours(id, s) {
 			if nw.id < id {
 				continue // count each undirected edge once
 			}
@@ -81,12 +82,13 @@ func nodePartialSum(nws []neighbourWeight, id profile.ID) (float64, int64) {
 func runWEP(g *graphContext, ids []profile.ID) []Edge {
 	var sum float64
 	var count int64
-	acc := map[profile.ID]*edgeAccumulator{}
+	sc := g.scratch.get()
 	for _, id := range ids {
-		s, n := nodePartialSum(g.weightedNeighbours(id, acc), id)
+		s, n := nodePartialSum(g.weightedNeighbours(id, sc), id)
 		sum += s
 		count += n
 	}
+	g.scratch.put(sc)
 	if count == 0 {
 		return nil
 	}
@@ -147,12 +149,15 @@ func nodeThreshold(nws []neighbourWeight, blast bool) float64 {
 	return sum / float64(len(nws))
 }
 
-// nodeThresholds computes the per-node pruning thresholds.
-func nodeThresholds(g *graphContext, ids []profile.ID, blast bool) map[profile.ID]float64 {
-	out := make(map[profile.ID]float64, len(ids))
-	acc := map[profile.ID]*edgeAccumulator{}
+// nodeThresholds computes the per-node pruning thresholds, dense by
+// profile ID (untouched nodes keep the zero threshold, matching the old
+// map's zero value for absent keys).
+func nodeThresholds(g *graphContext, ids []profile.ID, blast bool) []float64 {
+	out := make([]float64, g.scratch.n)
+	s := g.scratch.get()
+	defer g.scratch.put(s)
 	for _, id := range ids {
-		nws := g.weightedNeighbours(id, acc)
+		nws := g.weightedNeighbours(id, s)
 		if len(nws) == 0 {
 			continue
 		}
@@ -181,34 +186,21 @@ func runNodeThreshold(g *graphContext, ids []profile.ID, rule Pruning) []Edge {
 	return out
 }
 
-// kthLargestWeight returns the k-th largest weight of a neighbourhood
-// (clamped to its size), the top-k membership threshold of CNP.
-func kthLargestWeight(nws []neighbourWeight, k int) float64 {
-	weights := make([]float64, len(nws))
-	for i, nw := range nws {
-		weights[i] = nw.w
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
-	if k > len(weights) {
-		k = len(weights)
-	}
-	return weights[k-1]
-}
-
 // runCNP keeps edges in the top-k neighbourhood of either endpoint (both
 // for the reciprocal variant).
 func runCNP(g *graphContext, ids []profile.ID, k int, reciprocal bool) []Edge {
 	// kth[id] is the k-th largest edge weight of the node; an edge is in a
 	// node's top-k iff w >= kth.
-	kth := make(map[profile.ID]float64, len(ids))
-	acc := map[profile.ID]*edgeAccumulator{}
+	kth := make([]float64, g.scratch.n)
+	s := g.scratch.get()
 	for _, id := range ids {
-		nws := g.weightedNeighbours(id, acc)
+		nws := g.weightedNeighbours(id, s)
 		if len(nws) == 0 {
 			continue
 		}
-		kth[id] = kthLargestWeight(nws, k)
+		kth[id] = s.kthLargestWeight(nws, k)
 	}
+	g.scratch.put(s)
 	var out []Edge
 	forEachEdge(g, ids, func(a, b profile.ID, w float64) {
 		okA := w >= kth[a]
