@@ -11,6 +11,7 @@ package sparker_test
 // tracks the cost of every experiment.
 
 import (
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -437,6 +438,55 @@ func BenchmarkIndexUpsert(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIndexSave times writing a durable snapshot of the ~10k
+// profile serving index (encode + fsync + atomic rename); together with
+// BenchmarkIndexLoad it puts the cost of a warm restart into the CI
+// hot-path artifact (BENCH_hotpath.json).
+func BenchmarkIndexSave(b *testing.B) {
+	c := indexBenchCollection(b)
+	idx, err := index.NewFromCollection(c, index.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st index.PersistState
+	for i := 0; i < b.N; i++ {
+		if st, err = idx.Save(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Bytes), "snapshot_bytes")
+}
+
+// BenchmarkIndexLoad times restoring a fully queryable index from the
+// snapshot — the work a sparker-serve restart pays instead of
+// re-tokenizing and re-indexing the whole collection.
+func BenchmarkIndexLoad(b *testing.B) {
+	c := indexBenchCollection(b)
+	cfg := index.DefaultConfig()
+	idx, err := index.NewFromCollection(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	if _, err := idx.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := index.Load(path, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if x.Size() != c.Size() {
+			b.Fatalf("loaded %d profiles, want %d", x.Size(), c.Size())
+		}
 	}
 }
 

@@ -17,15 +17,35 @@
 //
 // Endpoints: POST /query, POST /upsert, POST /bulk (JSON-lines bodies,
 // "id" field plus attributes; ?source=1 targets the second clean source),
-// GET /stats.
+// POST /snapshot/save, GET /stats.
+//
+// Durable snapshots make restarts warm: with -snapshot the server
+// restores the index from the file at boot (falling back to a fresh
+// build from the input flags when the file is absent or written by an
+// incompatible format version), saves it on SIGTERM/SIGINT and on POST
+// /snapshot/save, and with -snapshot-interval also on a timer. With
+// -read-only the index rejects upserts (HTTP 403) — the replica serving
+// mode: point several read-only processes at one snapshot file. A
+// replica only ever reads that file: automatic saves are disabled and
+// /snapshot/save answers 403, so a stale replica can never clobber the
+// primary's newer snapshot.
+//
+//	sparker-serve -generate -snapshot /var/lib/sparker/idx.snap
+//	# ... kill it, restart with the same flags: no re-indexing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sparker/internal/datagen"
 	"sparker/internal/index"
@@ -52,7 +72,11 @@ func run() error {
 		idCol    = flag.String("id", "id", "identifier column name")
 		generate = flag.Bool("generate", false, "serve the generated SynthAbtBuy benchmark")
 
-		shards    = flag.Int("shards", 16, "index shard count")
+		snapshot         = flag.String("snapshot", "", "snapshot file: restore at boot, save on SIGTERM and POST /snapshot/save")
+		snapshotInterval = flag.Duration("snapshot-interval", 0, "also save the snapshot periodically (0 disables)")
+		readOnly         = flag.Bool("read-only", false, "replica mode: reject upserts (HTTP 403)")
+
+		shards    = flag.Int("shards", 16, "index shard count (a restored snapshot keeps its saved count)")
 		scheme    = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
 		prune     = flag.String("prune", "top-k", "candidate pruning rule (mean, top-k, none)")
 		topK      = flag.Int("k", 10, "candidates kept by top-k pruning")
@@ -109,20 +133,88 @@ func run() error {
 		return fmt.Errorf("unknown measure %q", *measure)
 	}
 
-	c, err := loadCollection(*fileA, *fileB, *dirty, *idCol, *generate)
-	if err != nil {
-		return err
+	// Restore at boot: a present, version-compatible snapshot skips
+	// loading and re-indexing the input files entirely.
+	var idx *index.Index
+	if *snapshot != "" {
+		x, err := index.Load(*snapshot, cfg)
+		switch {
+		case err == nil:
+			idx = x
+			st, _ := x.PersistState()
+			log.Printf("restored %d profiles from snapshot %s (%d bytes, saved %s)",
+				x.Size(), *snapshot, st.Bytes, st.SavedAt.Format(time.RFC3339))
+		case errors.Is(err, fs.ErrNotExist), errors.Is(err, index.ErrSnapshotVersion):
+			log.Printf("snapshot unavailable, building fresh index: %v", err)
+		default:
+			return err
+		}
+	}
+	if idx == nil {
+		c, err := loadCollection(*fileA, *fileB, *dirty, *idCol, *generate)
+		if err != nil {
+			return err
+		}
+		if idx, err = index.NewFromCollection(c, cfg); err != nil {
+			return err
+		}
+		snap := idx.Snapshot()
+		log.Printf("indexed %d profiles into %d blocks across %d shards (max block %d)",
+			snap.Profiles, snap.Blocks, snap.Shards, snap.MaxBlockSize)
+	}
+	if *readOnly {
+		idx.SetReadOnly(true)
+		log.Printf("read-only replica mode: upserts rejected")
 	}
 
-	idx, err := index.NewFromCollection(c, cfg)
-	if err != nil {
-		return err
+	// A read-only replica consumes the snapshot file, never produces it:
+	// auto-saving would overwrite a newer primary snapshot with this
+	// replica's stale copy.
+	save := func(reason string) {
+		if *snapshot == "" || *readOnly {
+			return
+		}
+		start := time.Now()
+		st, err := idx.Save(*snapshot)
+		if err != nil {
+			log.Printf("snapshot save (%s) failed: %v", reason, err)
+			return
+		}
+		log.Printf("saved snapshot %s (%d bytes) in %s (%s)", st.Path, st.Bytes,
+			time.Since(start).Round(time.Millisecond), reason)
 	}
-	snap := idx.Snapshot()
-	log.Printf("indexed %d profiles into %d blocks across %d shards (max block %d)",
-		snap.Profiles, snap.Blocks, snap.Shards, snap.MaxBlockSize)
+	if *snapshotInterval > 0 && *snapshot != "" && !*readOnly {
+		ticker := time.NewTicker(*snapshotInterval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				save("interval")
+			}
+		}()
+	}
+
+	// The handler itself refuses /snapshot/save on a read-only index
+	// (403), so the path can be passed through unconditionally.
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandlerOptions(idx, serve.Options{SnapshotPath: *snapshot})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	return http.ListenAndServe(*addr, serve.NewHandler(idx))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		save("shutdown")
+		return nil
+	}
 }
 
 // loadCollection assembles the startup collection from the flags; with no

@@ -210,6 +210,18 @@ type Index struct {
 	// query path sizes its flat candidate scratch to it.
 	idBound     atomic.Int64
 	scratchPool sync.Pool
+
+	// readOnly marks a replica: Upsert returns ErrReadOnly (persist.go).
+	readOnly atomic.Bool
+	// restored marks an index built by Load/Decode rather than from a
+	// collection; persist carries the durable-snapshot metadata.
+	restored  bool
+	persistMu sync.Mutex
+	persist   PersistState
+	// saveMu serializes Save end to end (open, encode, fsync, rename):
+	// concurrent saves to one path would share the fixed temp file, and
+	// writeMu alone does not cover the file I/O around the encode.
+	saveMu sync.Mutex
 }
 
 // New creates an empty index; clean selects clean-clean semantics (two
@@ -281,6 +293,9 @@ func (x *Index) shardFor(key string) *shard {
 // and added blocking keys. It returns the internal ID and whether the
 // profile was newly created.
 func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
+	if x.readOnly.Load() {
+		return 0, false, ErrReadOnly
+	}
 	if x.clean && p.SourceID != 0 && p.SourceID != 1 {
 		return 0, false, fmt.Errorf("index: clean-clean upsert needs SourceID 0 or 1, got %d", p.SourceID)
 	}

@@ -1,0 +1,712 @@
+package index
+
+// Durable snapshots: the index serializes to a single versioned,
+// length-prefixed binary file and restores to a fully queryable index,
+// so sparker-serve restarts (and read-only replicas) skip re-tokenizing
+// and re-indexing the whole collection.
+//
+// File layout (integers are varints, strings are uvarint length + bytes):
+//
+//	magic   "SPKRIDX1" (8 bytes)
+//	uvarint format version (currently 1)
+//	header  clean flag, shard count, save timestamp, nextID,
+//	        queries/upserts counters, profile count, posting count
+//	profiles section: per profile ID, source, original ID, attributes,
+//	        blocking keys (with clusters), optional cached token bag
+//	per-shard sections: posting count, then per posting key, cluster,
+//	        and the source-A / source-B ID lists in live order
+//	trailer CRC-32 (IEEE) of every preceding byte
+//
+// Encoding is deterministic (profiles by ID, postings by key within each
+// shard, ID lists verbatim): save → load → save reproduces the exact
+// bytes apart from the save-timestamp varint and the CRC that covers it.
+// Decoding validates every length and cross-reference before allocating
+// proportionally, so corrupt input fails with an error rather than a
+// panic or an unbounded allocation.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sparker/internal/blocking"
+	"sparker/internal/profile"
+)
+
+const (
+	snapshotMagic   = "SPKRIDX1"
+	snapshotVersion = 1
+
+	// maxSnapshotString bounds any single length-prefixed string
+	// (attribute values, blocking keys) a snapshot may carry. Enforced
+	// symmetrically: encode rejects longer strings, so a successful Save
+	// is always loadable. Decode reads strings incrementally, so a
+	// corrupt length prefix can only cost allocation proportional to the
+	// input actually supplied, never to the claimed length.
+	maxSnapshotString = 1 << 30
+	// maxSnapshotItems bounds per-profile attribute/key/bag counts, also
+	// enforced on both sides.
+	maxSnapshotItems = 1 << 26
+	// maxSnapshotShards bounds the decoded shard count.
+	maxSnapshotShards = 1 << 12
+	// maxSnapshotCluster bounds decoded attribute-cluster IDs.
+	maxSnapshotCluster = 1 << 30
+)
+
+var (
+	// ErrReadOnly is returned by Upsert on a read-only replica.
+	ErrReadOnly = errors.New("index: read-only replica rejects writes")
+	// ErrSnapshotVersion marks a snapshot written by an incompatible
+	// format version; callers typically fall back to a fresh build.
+	ErrSnapshotVersion = errors.New("index: unsupported snapshot version")
+)
+
+// PersistState describes the index's durable-snapshot state: the most
+// recent successful Save, or the file the index was restored from.
+type PersistState struct {
+	// Restored reports that the index was loaded from a snapshot rather
+	// than built from a collection.
+	Restored bool `json:"restored"`
+	// Path is the snapshot file of the last Save (or Load).
+	Path string `json:"path,omitempty"`
+	// Bytes is the encoded snapshot size.
+	Bytes int64 `json:"bytes,omitempty"`
+	// SavedAt is when the snapshot was written (for a restored index,
+	// when the restored file was originally saved).
+	SavedAt time.Time `json:"saved_at,omitempty"`
+}
+
+// PersistState returns the durable-snapshot state, or ok=false when the
+// index has never been saved or restored.
+func (x *Index) PersistState() (PersistState, bool) {
+	x.persistMu.Lock()
+	defer x.persistMu.Unlock()
+	return x.persist, x.persist != PersistState{}
+}
+
+// ReadOnly reports whether the index rejects writes (replica mode).
+func (x *Index) ReadOnly() bool { return x.readOnly.Load() }
+
+// SetReadOnly toggles replica mode: a read-only index rejects Upsert
+// with ErrReadOnly while queries keep working.
+func (x *Index) SetReadOnly(v bool) { x.readOnly.Store(v) }
+
+// Save writes a durable snapshot to path atomically: the encoding goes
+// to path+".tmp" and is fsynced (file and directory) before a rename,
+// so a crash mid-save never leaves a partial file at path — only a
+// stale temp file a later Save overwrites. Saves on one index are
+// serialized end to end (sparker-serve aims its interval timer, HTTP
+// endpoint and shutdown hook at the same path); the writer lock is held
+// only during the encode (no upsert is half applied in the snapshot)
+// and queries proceed concurrently throughout.
+func (x *Index) Save(path string) (PersistState, error) {
+	// A read-only replica consumes snapshots, it never produces them:
+	// a stale replica saving to the shared path would clobber the
+	// primary's newer snapshot. Enforced here so every caller — not
+	// just the HTTP handler and sparker-serve — gets the invariant.
+	if x.readOnly.Load() {
+		return PersistState{}, fmt.Errorf("index: save: %w", ErrReadOnly)
+	}
+	x.saveMu.Lock()
+	defer x.saveMu.Unlock()
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return PersistState{}, fmt.Errorf("index: save: %w", err)
+	}
+	now := time.Now()
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	x.writeMu.Lock()
+	n, err := x.encodeLocked(bw, now)
+	x.writeMu.Unlock()
+
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return PersistState{}, fmt.Errorf("index: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return PersistState{}, fmt.Errorf("index: save %s: %w", path, err)
+	}
+	// The rename is not durable until the directory entry is synced; a
+	// power cut could otherwise roll a reported-successful save back to
+	// the previous snapshot. Best effort: not every platform/filesystem
+	// supports fsync on a directory fd.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	st := PersistState{Restored: x.restored, Path: path, Bytes: n, SavedAt: now}
+	x.persistMu.Lock()
+	x.persist = st
+	x.persistMu.Unlock()
+	return st, nil
+}
+
+// Encode streams a snapshot to w without the file handling of Save. The
+// writer lock is held for the duration, like Save.
+func (x *Index) Encode(w io.Writer) (int64, error) {
+	x.writeMu.Lock()
+	defer x.writeMu.Unlock()
+	return x.encodeLocked(w, time.Now())
+}
+
+// Load restores an index from a snapshot file. The tokenizer, clustering,
+// entropy and measure of cfg must match the configuration the snapshot
+// was saved under (they are code, not data, and are not serialized); the
+// shard count is restored from the file and overrides cfg.Shards. A
+// missing file surfaces as fs.ErrNotExist and an incompatible format as
+// ErrSnapshotVersion, both via errors.Is.
+func Load(path string, cfg Config) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	defer f.Close()
+	x, err := Decode(f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("index: load %s: %w", path, err)
+	}
+	x.persistMu.Lock()
+	x.persist.Path = path
+	x.persistMu.Unlock()
+	return x, nil
+}
+
+// Decode restores an index from a snapshot stream. See Load.
+func Decode(r io.Reader, cfg Config) (*Index, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<16)}
+
+	var magic [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("snapshot magic: %w", err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return nil, fmt.Errorf("not an index snapshot (bad magic %q)", magic[:])
+	}
+	version, err := cr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot version: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
+			ErrSnapshotVersion, version, snapshotVersion)
+	}
+
+	cleanByte, err := cr.byte()
+	if err != nil || cleanByte > 1 {
+		return nil, fmt.Errorf("snapshot clean flag: %w", orBad(err, cleanByte))
+	}
+	clean := cleanByte == 1
+	shards, err := cr.uvarint()
+	if err != nil || shards < 1 || shards > maxSnapshotShards {
+		return nil, fmt.Errorf("snapshot shard count %d: %w", shards, orBad(err, 0))
+	}
+	savedAtNanos, err := cr.varint()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot timestamp: %w", err)
+	}
+	nextID, err := cr.uvarint()
+	if err != nil || nextID > math.MaxInt32 {
+		return nil, fmt.Errorf("snapshot nextID %d: %w", nextID, orBad(err, 0))
+	}
+	queries, err := cr.uvarint()
+	if err != nil || queries > math.MaxInt64 {
+		return nil, fmt.Errorf("snapshot query counter: %w", orBad(err, 0))
+	}
+	upserts, err := cr.uvarint()
+	if err != nil || upserts > math.MaxInt64 {
+		return nil, fmt.Errorf("snapshot upsert counter: %w", orBad(err, 0))
+	}
+	numProfiles, err := cr.uvarint()
+	// The index never deletes a profile outright (removals only happen
+	// inside a replace), so every assigned ID is live: the ID bound must
+	// equal the profile count exactly. This also caps the dense query
+	// scratch (sized to nextID) by the profiles actually present — a
+	// tiny snapshot cannot claim a huge ID space and OOM the first Query.
+	if err != nil || numProfiles != nextID {
+		return nil, fmt.Errorf("snapshot profile count %d does not match ID bound %d: %w",
+			numProfiles, nextID, orBad(err, 0))
+	}
+	numBlocks, err := cr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot posting count: %w", err)
+	}
+
+	cfg.Shards = int(shards)
+	x := New(clean, cfg)
+
+	// Profiles section. Every record consumes at least a few bytes, so a
+	// lying count fails on EOF long before allocation grows past the
+	// input size.
+	for i := uint64(0); i < numProfiles; i++ {
+		sp, err := decodeProfile(cr, x, nextID)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot profile %d/%d: %w", i, numProfiles, err)
+		}
+		id := sp.p.ID
+		if _, dup := x.byID[id]; dup {
+			return nil, fmt.Errorf("snapshot profile %d/%d: duplicate ID %d", i, numProfiles, id)
+		}
+		key := origKey(&sp.p)
+		if _, dup := x.byOrig[key]; dup {
+			return nil, fmt.Errorf("snapshot profile %d/%d: duplicate identity %s", i, numProfiles, key)
+		}
+		x.byID[id] = sp
+		x.byOrig[key] = id
+	}
+
+	// Per-shard posting sections. Postings are re-distributed through
+	// shardFor, so the section boundaries only structure the file.
+	var totalPostings uint64
+	for s := uint64(0); s < shards; s++ {
+		n, err := cr.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot shard %d: %w", s, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := decodePosting(cr, x); err != nil {
+				return nil, fmt.Errorf("snapshot shard %d posting %d: %w", s, i, err)
+			}
+		}
+		totalPostings += n
+	}
+	if totalPostings != numBlocks {
+		return nil, fmt.Errorf("snapshot holds %d postings, header says %d", totalPostings, numBlocks)
+	}
+
+	// Trailer: CRC of everything read so far, then clean EOF.
+	sum := cr.sum
+	var trailer [4]byte
+	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("snapshot checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+		return nil, fmt.Errorf("snapshot checksum mismatch: file %08x, computed %08x", got, sum)
+	}
+	if _, err := cr.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after snapshot checksum")
+	}
+
+	x.nextID = profile.ID(nextID)
+	x.idBound.Store(int64(nextID))
+	x.numProfiles.Store(int64(numProfiles))
+	x.numBlocks.Store(int64(totalPostings))
+	x.queries.Store(int64(queries))
+	x.upserts.Store(int64(upserts))
+	x.restored = true
+	x.persist = PersistState{
+		Restored: true,
+		Bytes:    cr.n + int64(len(trailer)),
+		SavedAt:  time.Unix(0, savedAtNanos),
+	}
+	return x, nil
+}
+
+// encodeLocked streams the snapshot; caller holds writeMu, so no writer
+// can interleave and the byID/shard reads need no further locking.
+func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
+	cw := &crcWriter{w: w}
+	cw.bytes([]byte(snapshotMagic))
+	cw.uvarint(snapshotVersion)
+	if x.clean {
+		cw.byte(1)
+	} else {
+		cw.byte(0)
+	}
+	cw.uvarint(uint64(len(x.shards)))
+	cw.varint(savedAt.UnixNano())
+	cw.uvarint(uint64(x.nextID))
+	cw.uvarint(uint64(x.queries.Load()))
+	cw.uvarint(uint64(x.upserts.Load()))
+	cw.uvarint(uint64(len(x.byID)))
+	cw.uvarint(uint64(x.numBlocks.Load()))
+
+	ids := make([]profile.ID, 0, len(x.byID))
+	for id := range x.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sp := x.byID[id]
+		// Mirror the decoder's count bounds so Save fails loudly instead
+		// of writing a file Load would reject at restart.
+		if len(sp.p.Attributes) > maxSnapshotItems || len(sp.keys) > maxSnapshotItems ||
+			len(sp.bag) > maxSnapshotItems {
+			cw.err = fmt.Errorf("profile %d exceeds snapshot item limits", sp.p.ID)
+			break
+		}
+		cw.uvarint(uint64(sp.p.ID))
+		cw.byte(byte(sp.p.SourceID))
+		cw.string(sp.p.OriginalID)
+		cw.uvarint(uint64(len(sp.p.Attributes)))
+		for _, kv := range sp.p.Attributes {
+			cw.string(kv.Key)
+			cw.string(kv.Value)
+		}
+		cw.uvarint(uint64(len(sp.keys)))
+		for _, kt := range sp.keys {
+			cw.string(kt.Key)
+			cw.varint(int64(kt.Cluster))
+		}
+		if sp.bag != nil {
+			cw.byte(1)
+			cw.uvarint(uint64(len(sp.bag)))
+			for _, t := range sp.bag {
+				cw.string(t)
+			}
+		} else {
+			cw.byte(0)
+		}
+	}
+
+	keys := make([]string, 0, 64)
+	for _, sh := range x.shards {
+		sh.mu.RLock()
+		keys = keys[:0]
+		for key := range sh.postings {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		cw.uvarint(uint64(len(keys)))
+		for _, key := range keys {
+			pl := sh.postings[key]
+			cw.string(key)
+			cw.varint(int64(pl.cluster))
+			cw.uvarint(uint64(len(pl.a)))
+			for _, id := range pl.a {
+				cw.uvarint(uint64(id))
+			}
+			cw.uvarint(uint64(len(pl.b)))
+			for _, id := range pl.b {
+				cw.uvarint(uint64(id))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.sum)
+	if cw.err == nil {
+		if _, err := w.Write(trailer[:]); err != nil {
+			cw.err = err
+		} else {
+			cw.n += int64(len(trailer))
+		}
+	}
+	return cw.n, cw.err
+}
+
+// decodeProfile reads one profiles-section record.
+func decodeProfile(cr *crcReader, x *Index, idBound uint64) (*storedProfile, error) {
+	id, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if id >= idBound {
+		return nil, fmt.Errorf("ID %d beyond bound %d", id, idBound)
+	}
+	src, err := cr.byte()
+	if err != nil {
+		return nil, err
+	}
+	if src > 1 || (!x.clean && src != 0) {
+		return nil, fmt.Errorf("bad source %d", src)
+	}
+	orig, err := cr.string()
+	if err != nil {
+		return nil, err
+	}
+	p := profile.Profile{ID: profile.ID(id), OriginalID: orig, SourceID: int(src)}
+
+	nAttrs, err := cr.uvarint()
+	if err != nil || nAttrs > maxSnapshotItems {
+		return nil, fmt.Errorf("attribute count %d: %w", nAttrs, orBad(err, 0))
+	}
+	if nAttrs > 0 {
+		p.Attributes = make([]profile.KeyValue, 0, capped(nAttrs))
+		for i := uint64(0); i < nAttrs; i++ {
+			key, err := cr.string()
+			if err != nil {
+				return nil, err
+			}
+			value, err := cr.string()
+			if err != nil {
+				return nil, err
+			}
+			p.Attributes = append(p.Attributes, profile.KeyValue{Key: key, Value: value})
+		}
+	}
+
+	nKeys, err := cr.uvarint()
+	if err != nil || nKeys > maxSnapshotItems {
+		return nil, fmt.Errorf("key count %d: %w", nKeys, orBad(err, 0))
+	}
+	sp := &storedProfile{p: p}
+	if nKeys > 0 {
+		sp.keys = make([]blocking.KeyedToken, 0, capped(nKeys))
+		for i := uint64(0); i < nKeys; i++ {
+			key, err := cr.string()
+			if err != nil {
+				return nil, err
+			}
+			cluster, err := cr.varint()
+			if err != nil || cluster < -1 || cluster > maxSnapshotCluster {
+				return nil, fmt.Errorf("cluster %d: %w", cluster, orBad(err, 0))
+			}
+			sp.keys = append(sp.keys, blocking.KeyedToken{Key: key, Cluster: int(cluster)})
+		}
+	}
+
+	hasBag, err := cr.byte()
+	if err != nil || hasBag > 1 {
+		return nil, fmt.Errorf("bag flag: %w", orBad(err, hasBag))
+	}
+	var bag []string
+	if hasBag == 1 {
+		nBag, err := cr.uvarint()
+		if err != nil || nBag > maxSnapshotItems {
+			return nil, fmt.Errorf("bag size %d: %w", nBag, orBad(err, 0))
+		}
+		bag = make([]string, 0, capped(nBag))
+		for i := uint64(0); i < nBag; i++ {
+			t, err := cr.string()
+			if err != nil {
+				return nil, err
+			}
+			bag = append(bag, t)
+		}
+	}
+	if x.cfg.defaultJaccard {
+		// The cached-bag scorer needs a bag; snapshots written under a
+		// custom measure carry none, so recompute it.
+		if bag == nil {
+			bag = distinctBag(&sp.p, x.cfg)
+		}
+		sp.bag = bag
+	}
+	return sp, nil
+}
+
+// decodePosting reads one posting record and installs it on its shard.
+func decodePosting(cr *crcReader, x *Index) error {
+	key, err := cr.string()
+	if err != nil {
+		return err
+	}
+	if key == "" {
+		return fmt.Errorf("empty posting key")
+	}
+	cluster, err := cr.varint()
+	if err != nil || cluster < -1 || cluster > maxSnapshotCluster {
+		return fmt.Errorf("cluster %d: %w", cluster, orBad(err, 0))
+	}
+	pl := &posting{cluster: int(cluster)}
+	if pl.a, err = decodeIDList(cr, x, 0); err != nil {
+		return fmt.Errorf("posting %q: %w", key, err)
+	}
+	if pl.b, err = decodeIDList(cr, x, 1); err != nil {
+		return fmt.Errorf("posting %q: %w", key, err)
+	}
+	if !x.clean && len(pl.b) > 0 {
+		return fmt.Errorf("posting %q: source-B entries in a dirty snapshot", key)
+	}
+	if pl.size() == 0 {
+		return fmt.Errorf("posting %q: empty", key)
+	}
+	sh := x.shardFor(key)
+	if _, dup := sh.postings[key]; dup {
+		return fmt.Errorf("posting %q: duplicate key", key)
+	}
+	sh.postings[key] = pl
+	return nil
+}
+
+// decodeIDList reads one posting side, validating every entry against
+// the already-decoded profiles (existence and source side).
+func decodeIDList(cr *crcReader, x *Index, wantSource int) ([]profile.ID, error) {
+	n, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(x.byID)) {
+		return nil, fmt.Errorf("posting side of %d entries exceeds %d profiles", n, len(x.byID))
+	}
+	ids := make([]profile.ID, 0, capped(n))
+	for i := uint64(0); i < n; i++ {
+		raw, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if raw > math.MaxInt32 {
+			return nil, fmt.Errorf("posting entry %d out of range", raw)
+		}
+		id := profile.ID(raw)
+		sp, ok := x.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("posting references unknown profile %d", id)
+		}
+		if x.clean && sp.p.SourceID != wantSource {
+			return nil, fmt.Errorf("profile %d (source %d) on the source-%d side",
+				id, sp.p.SourceID, wantSource)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// capped bounds up-front slice capacity for decoded counts: growth past
+// it is paid for by input actually read, so a lying header cannot force
+// a large allocation.
+func capped(n uint64) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
+}
+
+// orBad folds (err, bad value) checks into one %w operand: the read
+// error when there was one, otherwise a value error.
+func orBad(err error, v byte) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("bad value %d", v)
+}
+
+// crcWriter counts and checksums everything written; the first error
+// sticks and later writes become no-ops, so encode paths stay linear.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+	// str stages string payloads so writing them allocates nothing.
+	str [4096]byte
+}
+
+func (c *crcWriter) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, err := c.w.Write(p); err != nil {
+		c.err = err
+		return
+	}
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	c.n += int64(len(p))
+}
+
+func (c *crcWriter) byte(b byte)      { c.buf[0] = b; c.bytes(c.buf[:1]) }
+func (c *crcWriter) uvarint(v uint64) { c.bytes(c.buf[:binary.PutUvarint(c.buf[:], v)]) }
+func (c *crcWriter) varint(v int64)   { c.bytes(c.buf[:binary.PutVarint(c.buf[:], v)]) }
+
+// string enforces the same length bound the decoder checks, so a
+// snapshot that saves successfully always loads. The payload is staged
+// through a reusable scratch buffer: a []byte(s) conversion per string
+// would allocate roughly the snapshot's size in per-token garbage on
+// every save.
+func (c *crcWriter) string(s string) {
+	if c.err == nil && len(s) > maxSnapshotString {
+		c.err = fmt.Errorf("string of %d bytes exceeds snapshot limit", len(s))
+		return
+	}
+	c.uvarint(uint64(len(s)))
+	for off := 0; off < len(s) && c.err == nil; off += len(c.str) {
+		n := copy(c.str[:], s[off:])
+		c.bytes(c.str[:n])
+	}
+}
+
+// crcReader checksums everything read through it (the trailer is read
+// from the underlying reader directly, bypassing the hash).
+type crcReader struct {
+	r   *bufio.Reader
+	sum uint32
+	n   int64
+	one [1]byte
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+		c.n += int64(n)
+	}
+	return n, err
+}
+
+// ReadByte lets binary.ReadUvarint consume one byte at a time.
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	c.one[0] = b
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, c.one[:])
+	c.n++
+	return b, nil
+}
+
+func (c *crcReader) byte() (byte, error) { return c.ReadByte() }
+
+func (c *crcReader) uvarint() (uint64, error) { return binary.ReadUvarint(c) }
+
+func (c *crcReader) varint() (int64, error) { return binary.ReadVarint(c) }
+
+func (c *crcReader) string() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotString {
+		return "", fmt.Errorf("string of %d bytes exceeds limit", n)
+	}
+	// Read in bounded chunks: a lying length prefix on truncated input
+	// errors after allocating at most one chunk beyond the actual data.
+	const chunk = 64 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	buf := make([]byte, 0, chunk)
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(c, buf[start:]); err != nil {
+			return "", err
+		}
+		remaining -= step
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,247 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sparker/internal/profile"
+)
+
+// TestSaveRacesConcurrentOps saves snapshots while writers upsert and
+// readers query (run under -race in CI): every file written mid-churn
+// must load back into an internally consistent index. Save holds the
+// writer lock, so each snapshot is a clean cut between upserts — the
+// loader's cross-reference validation (every posting entry resolves to a
+// stored profile on the right source side) would fail on a torn one.
+func TestSaveRacesConcurrentOps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	x := New(true, cfg)
+	for i := 0; i < 40; i++ {
+		a := mkProfile(fmt.Sprintf("a%d", i), "name", fmt.Sprintf("item model%d shared%d", i, i%7))
+		b := mkProfile(fmt.Sprintf("b%d", i), "title", fmt.Sprintf("item model%d shared%d", i, i%7))
+		b.SourceID = 1
+		if _, _, err := x.Upsert(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := x.Upsert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	const writers, readers, savers, ops, saves = 3, 4, 2, 150, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+savers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				var p profile.Profile
+				if i%3 == 0 {
+					p = mkProfile(fmt.Sprintf("a%d", i%40), "name",
+						fmt.Sprintf("updated model%d worker%d", i, w))
+				} else {
+					p = mkProfile(fmt.Sprintf("w%d-%d", w, i), "name",
+						fmt.Sprintf("fresh model%d shared%d", i, i%7))
+				}
+				if _, _, err := x.Upsert(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				q := mkProfile("probe", "name", fmt.Sprintf("item model%d shared%d", i%40, i%7))
+				if i%2 == 0 {
+					x.Query(&q)
+				} else {
+					x.Resolve(&q)
+				}
+			}
+		}(r)
+	}
+	paths := make([][]string, savers)
+	for s := 0; s < savers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < saves; i++ {
+				path := filepath.Join(dir, fmt.Sprintf("race-%d-%d.snap", s, i))
+				if _, err := x.Save(path); err != nil {
+					errs <- err
+					return
+				}
+				paths[s] = append(paths[s], path)
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, saved := range paths {
+		for _, path := range saved {
+			y, err := Load(path, cfg)
+			if err != nil {
+				t.Fatalf("load %s: %v", path, err)
+			}
+			assertInternallyConsistent(t, y)
+		}
+	}
+}
+
+// assertInternallyConsistent cross-checks a loaded index: counters match
+// reality and every stored profile is reachable through its own keys.
+func assertInternallyConsistent(t *testing.T, y *Index) {
+	t.Helper()
+	s := y.Snapshot()
+	if s.Profiles != y.Size() {
+		t.Fatalf("snapshot profiles %d != size %d", s.Profiles, y.Size())
+	}
+	checked := 0
+	for id := profile.ID(0); checked < 25 && int(id) < int(y.idBound.Load()); id++ {
+		p, ok := y.Get(id)
+		if !ok {
+			continue
+		}
+		checked++
+		res := y.Query(&p)
+		if res.Keys == 0 {
+			t.Fatalf("profile %d produced no keys after load", id)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no profiles to check")
+	}
+}
+
+// TestSaveReplacesStaleTemp: a Save that finds a stale temp file from a
+// crashed predecessor overwrites it and still lands atomically.
+func TestSaveReplacesStaleTemp(t *testing.T) {
+	cfg := DefaultConfig()
+	x := New(false, cfg)
+	if _, _, err := x.Upsert(mkProfile("p1", "name", "alpha beta gamma")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	if err := os.WriteFile(path+".tmp", []byte("stale partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := x.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived a successful save: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != st.Bytes {
+		t.Fatalf("file size %d != reported bytes %d", fi.Size(), st.Bytes)
+	}
+	y, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Size() != 1 {
+		t.Fatalf("loaded size = %d", y.Size())
+	}
+}
+
+// TestSaveRacesSamePath aims many concurrent saves (and upserts) at ONE
+// path — the deployed shape, where sparker-serve's interval timer, HTTP
+// endpoint and shutdown hook all write the same file through the shared
+// fixed temp name. Save serializes its file I/O per index, so the final
+// file must always load cleanly.
+func TestSaveRacesSamePath(t *testing.T) {
+	cfg := DefaultConfig()
+	x := New(false, cfg)
+	for _, p := range synthQueryProfiles(60, 1, 31) {
+		if _, _, err := x.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "shared.snap")
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := x.Save(path); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, _, err := x.Upsert(mkProfile(fmt.Sprintf("churn%d", i), "name",
+				fmt.Sprintf("model%d shared%d", i, i%5))); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	y, err := Load(path, cfg)
+	if err != nil {
+		t.Fatalf("file left by racing same-path saves does not load: %v", err)
+	}
+	assertInternallyConsistent(t, y)
+}
+
+// TestConcurrentSaveAndSnapshot: Save and Snapshot both take the writer
+// lock; interleaving them with queries must not deadlock or tear.
+func TestConcurrentSaveAndSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	x := New(false, cfg)
+	for _, p := range synthQueryProfiles(30, 1, 29) {
+		if _, _, err := x.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch g % 2 {
+				case 0:
+					if _, err := x.Save(filepath.Join(dir, fmt.Sprintf("s%d-%d.snap", g, i))); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					x.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

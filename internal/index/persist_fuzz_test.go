@@ -1,0 +1,67 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadIndex feeds arbitrary bytes to the snapshot decoder. The
+// contract under fuzzing: any input either decodes into an internally
+// consistent, queryable index or returns an error — never a panic, and
+// never an allocation proportional to a lying length header rather than
+// to the input actually supplied. Seeds cover valid snapshots of both
+// task types (with and without entropy keys) plus the mutation classes
+// the decoder must reject: truncation, bit flips, and version bumps.
+func FuzzLoadIndex(f *testing.F) {
+	dirty := encodeToBytes(f, smallTestIndex(f, false))
+	clean := encodeToBytes(f, smallTestIndex(f, true))
+
+	entCfg := DefaultConfig()
+	entCfg.Clustering = lenClustering{}
+	entCfg.Entropy = rampEntropy{}
+	ent := New(false, entCfg)
+	for _, p := range synthQueryProfiles(8, 1, 23) {
+		if _, _, err := ent.Upsert(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	entropy := encodeToBytes(f, ent)
+
+	empty := encodeToBytes(f, New(true, DefaultConfig()))
+
+	for _, seed := range [][]byte{dirty, clean, entropy, empty} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])                      // truncated
+		f.Add(seed[:len(seed)-3])                      // lost trailer
+		f.Add(append([]byte{}, seed[len(seed)/3:]...)) // lost header
+
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/2] ^= 0x20 // payload bit flip
+		f.Add(flipped)
+
+		bumped := append([]byte(nil), seed...)
+		bumped[len(snapshotMagic)] = snapshotVersion + 1 // future version
+		f.Add(bumped)
+	}
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+
+	cfg := DefaultConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := Decode(bytes.NewReader(data), cfg)
+		if err != nil {
+			return
+		}
+		// Decoded successfully: the index must hold together under use.
+		s := x.Snapshot()
+		if s.Profiles != x.Size() {
+			t.Fatalf("snapshot profiles %d != size %d", s.Profiles, x.Size())
+		}
+		q := mkProfile("probe", "name", "alpha shared0 tok1")
+		x.Query(&q)
+		x.Resolve(&q)
+		if _, _, err := x.Upsert(mkProfile("fresh", "name", "post fuzz upsert")); err != nil {
+			t.Fatalf("upsert on decoded index: %v", err)
+		}
+	})
+}

@@ -17,9 +17,14 @@ type Snapshot struct {
 	AvgBlockSize float64 `json:"avg_block_size"`
 	// Queries and Upserts count operations served since construction
 	// (profiles indexed at construction do not count as upserts; /bulk
-	// loads do).
+	// loads do). Both survive a snapshot save/load cycle.
 	Queries int64 `json:"queries"`
 	Upserts int64 `json:"upserts"`
+	// ReadOnly reports replica mode: the index rejects Upserts.
+	ReadOnly bool `json:"read_only"`
+	// Persist describes the durable-snapshot state (last save / restore
+	// source), or nil when the index has never been saved or restored.
+	Persist *PersistState `json:"persist,omitempty"`
 }
 
 // Snapshot summarises the index. It takes the writer lock, so the totals
@@ -33,6 +38,10 @@ func (x *Index) Snapshot() Snapshot {
 		Profiles: int(x.numProfiles.Load()),
 		Queries:  x.queries.Load(),
 		Upserts:  x.upserts.Load(),
+		ReadOnly: x.readOnly.Load(),
+	}
+	if st, ok := x.PersistState(); ok {
+		s.Persist = &st
 	}
 	for _, sh := range x.shards {
 		sh.mu.RLock()

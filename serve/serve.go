@@ -6,27 +6,45 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sparker/internal/index"
 	"sparker/internal/loader"
 	"sparker/internal/profile"
 )
 
+// Options configures the optional persistence surface of the handler.
+type Options struct {
+	// SnapshotPath enables POST /snapshot/save: each call writes a
+	// durable snapshot of the index there (atomically). Empty disables
+	// the endpoint.
+	SnapshotPath string
+}
+
 // NewHandler serves an index over HTTP:
 //
-//	POST /query   — body: one JSON profile {"id": "...", "attr": "value"};
-//	                ranks candidates and scores matches. ?source=1 marks
-//	                the query as coming from the second clean source.
-//	POST /upsert  — body: one JSON profile; inserts or replaces it.
-//	POST /bulk    — body: JSON-lines profiles; upserts every record.
-//	GET  /stats   — consistent index snapshot.
+//	POST /query         — body: one JSON profile {"id": "...", "attr":
+//	                      "value"}; ranks candidates and scores matches.
+//	                      ?source=1 marks the query as coming from the
+//	                      second clean source.
+//	POST /upsert        — body: one JSON profile; inserts or replaces it.
+//	POST /bulk          — body: JSON-lines profiles; upserts every record.
+//	POST /snapshot/save — write a durable snapshot (needs a configured
+//	                      snapshot path; see NewHandlerOptions).
+//	GET  /stats         — consistent index snapshot, including read-only
+//	                      mode and durable-snapshot metadata.
 //
-// Profiles use the loader's JSON-lines wire format; the "id" field is the
-// original identifier, every other field an attribute.
-func NewHandler(x *index.Index) http.Handler {
+// Upserts against a read-only replica fail with 403. Profiles use the
+// loader's JSON-lines wire format; the "id" field is the original
+// identifier, every other field an attribute.
+func NewHandler(x *index.Index) http.Handler { return NewHandlerOptions(x, Options{}) }
+
+// NewHandlerOptions is NewHandler with the persistence surface enabled.
+func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := readOneProfile(w, r, x)
@@ -42,7 +60,7 @@ func NewHandler(x *index.Index) http.Handler {
 		}
 		id, created, err := x.Upsert(*p)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, upsertErrorStatus(err), err)
 			return
 		}
 		writeJSON(w, map[string]any{"id": id, "created": created})
@@ -54,11 +72,40 @@ func NewHandler(x *index.Index) http.Handler {
 		}
 		for _, p := range ps {
 			if _, _, err := x.Upsert(p); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+				httpError(w, upsertErrorStatus(err), err)
 				return
 			}
 		}
 		writeJSON(w, map[string]any{"upserted": len(ps)})
+	})
+	mux.HandleFunc("/snapshot/save", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		if opts.SnapshotPath == "" {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no snapshot path configured (start sparker-serve with -snapshot)"))
+			return
+		}
+		// A replica consumes the snapshot file, never produces it — a
+		// stale replica must not clobber the primary's newer snapshot.
+		// Enforced here too, not only in sparker-serve's flag wiring, so
+		// embedders of the handler get the same invariant.
+		if x.ReadOnly() {
+			httpError(w, http.StatusForbidden, fmt.Errorf("read-only replica does not write snapshots"))
+			return
+		}
+		start := time.Now()
+		st, err := x.Save(opts.SnapshotPath)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"path":       st.Path,
+			"bytes":      st.Bytes,
+			"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -68,6 +115,15 @@ func NewHandler(x *index.Index) http.Handler {
 		writeJSON(w, x.Snapshot())
 	})
 	return mux
+}
+
+// upsertErrorStatus maps index write errors onto HTTP statuses: writes
+// against a read-only replica are refused, not malformed.
+func upsertErrorStatus(err error) int {
+	if errors.Is(err, index.ErrReadOnly) {
+		return http.StatusForbidden
+	}
+	return http.StatusBadRequest
 }
 
 // candidateJSON is one ranked blocking candidate on the wire.

@@ -230,7 +230,34 @@ type (
 	IndexResolution = index.Resolution
 	// IndexSnapshot is a consistent point-in-time index summary.
 	IndexSnapshot = index.Snapshot
+	// IndexPersistState describes an index's durable-snapshot state.
+	IndexPersistState = index.PersistState
 )
+
+// Durable index snapshots.
+var (
+	// ErrIndexReadOnly is returned by Upsert on a read-only replica.
+	ErrIndexReadOnly = index.ErrReadOnly
+	// ErrIndexSnapshotVersion marks a snapshot file written by an
+	// incompatible format version.
+	ErrIndexSnapshotVersion = index.ErrSnapshotVersion
+)
+
+// SaveIndex writes a durable snapshot of the index to path, atomically
+// (temp file + rename): a crash mid-save never corrupts a previous
+// snapshot at the same path. Saving a read-only replica returns
+// ErrIndexReadOnly — replicas consume snapshots, they never produce
+// them.
+func SaveIndex(x *Index, path string) (IndexPersistState, error) { return x.Save(path) }
+
+// LoadIndex restores a fully queryable index from a snapshot file
+// without re-tokenizing or re-indexing. The cfg must carry the same
+// tokenizer/clustering/entropy/measure the snapshot was saved under
+// (code is not serialized); the shard count comes from the file. A
+// missing file surfaces as fs.ErrNotExist and an incompatible format as
+// ErrIndexSnapshotVersion, both via errors.Is. Use Index.SetReadOnly to
+// serve the restored index as a write-rejecting replica.
+func LoadIndex(path string, cfg IndexConfig) (*Index, error) { return index.Load(path, cfg) }
 
 // Index candidate-pruning rules.
 const (
