@@ -303,19 +303,23 @@ func BenchmarkMetablockingDistributed(b *testing.B) {
 	}
 }
 
-// BenchmarkTokenBlocking times sequential block construction.
+// BenchmarkTokenBlocking times the parallel sharded block construction.
+// The flat-vs-reference comparison lives in internal/blocking's
+// BenchmarkTokenBlocking/BenchmarkBatchBlocking (same CI artifact).
 func BenchmarkTokenBlocking(b *testing.B) {
 	d := benchDataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blocking.TokenBlocking(d.Collection, blocking.Options{})
 	}
 }
 
-// BenchmarkBlockPurgeFilter times purging + filtering.
+// BenchmarkBlockPurgeFilter times purging + CSR filtering.
 func BenchmarkBlockPurgeFilter(b *testing.B) {
 	d := benchDataset(b)
 	raw := blocking.TokenBlocking(d.Collection, blocking.Options{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blocking.Filter(blocking.PurgeBySize(raw, 0.5), 0.8)

@@ -86,32 +86,62 @@ func (p Pair) Canonical() Pair {
 }
 
 // DistinctPairs enumerates the de-duplicated candidate pairs implied by
-// the blocks. This is the candidate set whose recall/precision the demo
-// GUI reports after the blocking step.
+// the blocks, in ascending (A, B) order. This is the candidate set whose
+// recall/precision the demo GUI reports after the blocking step.
+//
+// Deduplication runs through the flat epoch-stamped kernel scratch
+// instead of a map[Pair]bool: a throwaway CSR index carves each profile's
+// block list, then parallel workers enumerate each profile's distinct
+// neighbourhood in one stamped round per profile (dirty pairs from their
+// smaller endpoint, clean pairs from their A-side endpoint) and emit it
+// sorted. Worker ranges are contiguous, so concatenating worker outputs
+// yields the globally sorted pair list deterministically.
 func (c *Collection) DistinctPairs() []Pair {
-	seen := make(map[Pair]bool)
-	var out []Pair
-	add := func(p Pair) {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
-		}
+	idx := BuildIndex(c)
+	ids := idx.ProfileIDs()
+	if len(ids) == 0 {
+		return nil
 	}
-	for i := range c.Blocks {
-		b := &c.Blocks[i]
-		if c.CleanClean {
-			for _, a := range b.A {
-				for _, bb := range b.B {
-					add(Pair{A: a, B: bb})
+	bound := int(idx.MaxProfileID()) + 1
+	workers := maxWorkers(len(ids))
+	parts := make([][]Pair, workers)
+	parallelFor(len(ids), workers, func(w, lo, hi int) {
+		marks := getMarkSet(bound)
+		defer putMarkSet(marks)
+		var out []Pair
+		for _, id := range ids[lo:hi] {
+			marks.Begin()
+			for _, ref := range idx.BlocksOf(id) {
+				b := &c.Blocks[ref.Ordinal()]
+				if c.CleanClean {
+					if ref.SideB() {
+						continue
+					}
+					for _, o := range b.B {
+						marks.Mark(o)
+					}
+				} else {
+					for _, o := range b.A {
+						if o > id {
+							marks.Mark(o)
+						}
+					}
 				}
 			}
-		} else {
-			for x := 0; x < len(b.A); x++ {
-				for y := x + 1; y < len(b.A); y++ {
-					add(Pair{A: b.A[x], B: b.A[y]}.Canonical())
-				}
+			marks.SortTouched()
+			for _, o := range marks.Touched() {
+				out = append(out, Pair{A: id, B: o})
 			}
 		}
+		parts[w] = out
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Pair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }

@@ -13,6 +13,13 @@ func PurgeBySize(c *Collection, maxFraction float64) *Collection {
 	}
 	limit := maxFraction * float64(c.NumProfiles)
 	out := &Collection{CleanClean: c.CleanClean, NumProfiles: c.NumProfiles}
+	survivors := 0
+	for i := range c.Blocks {
+		if float64(c.Blocks[i].Size()) <= limit {
+			survivors++
+		}
+	}
+	out.Blocks = make([]Block, 0, survivors)
 	for i := range c.Blocks {
 		if float64(c.Blocks[i].Size()) <= limit {
 			out.Blocks = append(out.Blocks, c.Blocks[i])
@@ -35,28 +42,31 @@ func PurgeByComparisonLevel(c *Collection, smoothFactor float64) *Collection {
 		return &Collection{CleanClean: c.CleanClean, NumProfiles: c.NumProfiles}
 	}
 
-	// Aggregate comparisons and assignments per distinct cardinality level.
+	// Aggregate comparisons and assignments per distinct cardinality
+	// level: one flat entry per block sorted by cardinality, with equal-
+	// cardinality runs merged in place — no per-level map or pointer
+	// allocation.
 	type level struct {
 		cardinality int64
 		comparisons int64
 		assignments int64
 	}
-	byCard := map[int64]*level{}
+	levels := make([]level, len(c.Blocks))
 	for i := range c.Blocks {
 		card := c.Blocks[i].Comparisons()
-		lv := byCard[card]
-		if lv == nil {
-			lv = &level{cardinality: card}
-			byCard[card] = lv
-		}
-		lv.comparisons += card
-		lv.assignments += int64(c.Blocks[i].Size())
-	}
-	levels := make([]*level, 0, len(byCard))
-	for _, lv := range byCard {
-		levels = append(levels, lv)
+		levels[i] = level{cardinality: card, comparisons: card, assignments: int64(c.Blocks[i].Size())}
 	}
 	sort.Slice(levels, func(i, j int) bool { return levels[i].cardinality < levels[j].cardinality })
+	merged := levels[:1]
+	for _, lv := range levels[1:] {
+		if last := &merged[len(merged)-1]; last.cardinality == lv.cardinality {
+			last.comparisons += lv.comparisons
+			last.assignments += lv.assignments
+		} else {
+			merged = append(merged, lv)
+		}
+	}
+	levels = merged
 
 	// Cumulative CC/BC ratio from the smallest level up; stop raising the
 	// threshold once the ratio jump exceeds the smoothing factor.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"sparker/internal/blocking"
 	"sparker/internal/core"
@@ -60,6 +61,9 @@ type candAcc struct {
 	entArcs    float64
 }
 
+// keyBufPool recycles the per-query blocking-key buffers of Query.
+var keyBufPool = sync.Pool{New: func() any { return new([]blocking.KeyedToken) }}
+
 // queryScratch is the flat-array candidate kernel of the query hot path:
 // the shared dense, epoch-stamped scratch primitive the meta-blocker
 // uses, instantiated with the candidate accumulator and indexed by the
@@ -96,7 +100,15 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 		q.SourceID = 0
 		p = &q
 	}
-	keys := x.opts.KeysOf(p)
+	// Keys live only through the size probe below, so they are derived
+	// into a pooled buffer — the stored-profile path in Upsert keeps the
+	// allocating KeysOf, since it retains the slice.
+	kb := keyBufPool.Get().(*[]blocking.KeyedToken)
+	keys := x.opts.AppendKeysOf((*kb)[:0], p)
+	defer func() {
+		*kb = keys[:0]
+		keyBufPool.Put(kb)
+	}()
 	res := &QueryResult{Keys: len(keys)}
 
 	selfID := profile.ID(-1)

@@ -8,7 +8,7 @@
 package kernel
 
 import (
-	"sort"
+	"slices"
 
 	"sparker/internal/profile"
 )
@@ -77,6 +77,30 @@ func (s *Scratch[A]) Slot(id profile.ID) *A {
 // stamp bookkeeping; use it when iterating Touched.
 func (s *Scratch[A]) At(id profile.ID) *A { return &s.acc[id] }
 
+// Mark stamps id in the current round without touching its accumulator
+// value beyond zeroing it, reporting whether this was the id's first
+// touch. It is the set-membership primitive of the dedup passes (block
+// filtering's keep bitset, distinct-pair enumeration): Mark instead of a
+// map insert, Has instead of a map lookup, Begin instead of a map clear.
+func (s *Scratch[A]) Mark(id profile.ID) bool {
+	if int(id) >= len(s.acc) {
+		s.Ensure(int(id) + 1)
+	}
+	if s.stamp[id] == s.epoch {
+		return false
+	}
+	s.stamp[id] = s.epoch
+	var zero A
+	s.acc[id] = zero
+	s.touched = append(s.touched, id)
+	return true
+}
+
+// Has reports whether id was touched (via Slot or Mark) this round.
+func (s *Scratch[A]) Has(id profile.ID) bool {
+	return int(id) < len(s.acc) && s.stamp[id] == s.epoch
+}
+
 // Lookup returns the accumulator of id if it was touched this round, or
 // nil.
 func (s *Scratch[A]) Lookup(id profile.ID) *A {
@@ -93,6 +117,9 @@ func (s *Scratch[A]) Touched() []profile.ID { return s.touched }
 // SortTouched orders the touched list by profile ID, for consumers that
 // need a deterministic summation order (float addition is not
 // associative, and sequential and distributed runs must agree bitwise).
+// slices.Sort, not sort.Slice: the reflection-based comparator would
+// allocate once per round, and SortTouched runs once per profile on the
+// batch and query hot paths.
 func (s *Scratch[A]) SortTouched() {
-	sort.Slice(s.touched, func(i, j int) bool { return s.touched[i] < s.touched[j] })
+	slices.Sort(s.touched)
 }

@@ -50,10 +50,10 @@ func Explain(idx *blocking.Index, opts Options, a, b profile.ID) PairExplanation
 
 	// Shared blocks.
 	inA := map[int32]bool{}
-	for _, ref := range idx.BlocksOf[a] {
+	for _, ref := range idx.BlocksOf(a) {
 		inA[ref.Ordinal()] = true
 	}
-	for _, ref := range idx.BlocksOf[b] {
+	for _, ref := range idx.BlocksOf(b) {
 		bi := ref.Ordinal()
 		if !inA[bi] {
 			continue

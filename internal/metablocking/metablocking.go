@@ -184,7 +184,7 @@ func newGraphContext(idx *blocking.Index, opts Options) *graphContext {
 func (g *graphContext) neighbourhood(id profile.ID, s *neighbourScratch) {
 	s.Begin()
 	col := g.idx.Blocks
-	for _, ref := range g.idx.BlocksOf[id] {
+	for _, ref := range g.idx.BlocksOf(id) {
 		bi := ref.Ordinal()
 		b := &col.Blocks[bi]
 		others := b.A
@@ -334,7 +334,7 @@ func defaultTopK(idx *blocking.Index, p Pruning) int {
 		}
 		return k
 	case CNP, ReciprocalCNP:
-		n := len(idx.BlocksOf)
+		n := idx.NumProfiles()
 		if n == 0 {
 			return 1
 		}

@@ -70,7 +70,7 @@ func (g *refGraph) neighbourhood(id profile.ID, acc map[profile.ID]*edgeAccumula
 		delete(acc, k)
 	}
 	col := g.idx.Blocks
-	for _, ref := range g.idx.BlocksOf[id] {
+	for _, ref := range g.idx.BlocksOf(id) {
 		bi := ref.Ordinal()
 		b := &col.Blocks[bi]
 		visit := func(other profile.ID) {

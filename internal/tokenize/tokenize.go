@@ -6,6 +6,7 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Options configures tokenization.
@@ -62,7 +63,7 @@ func (o Options) Tokens(s string) []string {
 	fields := strings.Fields(Normalize(s))
 	out := make([]string, 0, len(fields))
 	for _, f := range fields {
-		if len([]rune(f)) < minLen || stop[f] {
+		if utf8.RuneCountInString(f) < minLen || stop[f] {
 			continue
 		}
 		if o.DropNumbers && isNumeric(f) {
@@ -71,6 +72,92 @@ func (o Options) Tokens(s string) []string {
 		out = append(out, f)
 	}
 	return out
+}
+
+// Scratch is a reusable tokenizer workspace for AppendTokens: the
+// normalisation buffer and the token intern table live across calls, so
+// steady-state tokenization of a hot loop (the batch blocker's workers,
+// the online index's queries) allocates only when a token is seen for
+// the first time. A Scratch must not be shared between goroutines; pool
+// one per worker.
+type Scratch struct {
+	buf    []byte
+	intern map[string]string
+}
+
+// maxInterned bounds the intern table; past it the table is dropped and
+// rebuilt, so a pathological unbounded vocabulary cannot pin memory.
+const maxInterned = 1 << 16
+
+func (sc *Scratch) internToken(b []byte) string {
+	if tok, ok := sc.intern[string(b)]; ok { // zero-alloc lookup
+		return tok
+	}
+	if sc.intern == nil || len(sc.intern) >= maxInterned {
+		sc.intern = make(map[string]string, 256)
+	}
+	tok := string(b)
+	sc.intern[tok] = tok
+	return tok
+}
+
+// AppendTokens appends the normalised tokens of s to dst and returns the
+// extended slice — the same tokens Tokens returns, derived through the
+// scratch's reusable buffers instead of fresh normalise/split/output
+// allocations per value. A nil scratch is allowed (one is created), but
+// defeats the purpose.
+func (o Options) AppendTokens(dst []string, s string, sc *Scratch) []string {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	stop := o.StopWords
+	if stop == nil {
+		stop = DefaultStopWords
+	}
+	minLen := o.MinLength
+	if minLen < 1 {
+		minLen = 1
+	}
+	buf := sc.buf[:0]
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
+		} else {
+			buf = append(buf, ' ')
+		}
+	}
+	sc.buf = buf
+	for i := 0; i < len(buf); {
+		if buf[i] == ' ' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(buf) && buf[j] != ' ' {
+			j++
+		}
+		f := buf[i:j]
+		i = j
+		if utf8.RuneCount(f) < minLen || stop[string(f)] {
+			continue
+		}
+		if o.DropNumbers && isNumericBytes(f) {
+			continue
+		}
+		dst = append(dst, sc.internToken(f))
+	}
+	return dst
+}
+
+func isNumericBytes(b []byte) bool {
+	for i := 0; i < len(b); {
+		r, size := utf8.DecodeRune(b[i:])
+		if !unicode.IsDigit(r) {
+			return false
+		}
+		i += size
+	}
+	return len(b) > 0
 }
 
 // Tokens tokenizes with the default options.

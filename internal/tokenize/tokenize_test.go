@@ -129,3 +129,40 @@ func TestQuickTokenizeIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendTokensMatchesTokens pins the scratch-based AppendTokens to
+// Tokens: blocking keys flow through the former while similarity,
+// loose-schema and evaluation still use the latter, so the two
+// normalise/split/filter pipelines must never drift. Covers case-mapping
+// edge cases (İ, ı, ß, final sigma), CJK, combining marks, numerics and
+// stop words, under both default and strict options, plus a quick sweep
+// over arbitrary strings.
+func TestAppendTokensMatchesTokens(t *testing.T) {
+	opts := []Options{
+		{},
+		{MinLength: 3, DropNumbers: true, StopWords: map[string]bool{"acme": true}},
+	}
+	fixed := []string{
+		"", "   ", "Acme Blender-3000, the BEST!", "İstanbul ısıtma STRASSE ß",
+		"ΣΊΣΥΦΟΣ τελος", "日本語 トークン", "á combining", "42 007 x9",
+		"the of and", "tab\tand\nnewline", "emoji 🚀 split",
+	}
+	sc := &Scratch{}
+	for _, o := range opts {
+		for _, s := range fixed {
+			want := o.Tokens(s)
+			got := o.AppendTokens(nil, s, sc)
+			if !reflect.DeepEqual(append([]string{}, want...), append([]string{}, got...)) {
+				t.Fatalf("opts %+v input %q: AppendTokens %q != Tokens %q", o, s, got, want)
+			}
+		}
+	}
+	f := func(s string) bool {
+		want := Default.Tokens(s)
+		got := Default.AppendTokens(nil, s, sc)
+		return reflect.DeepEqual(append([]string{}, want...), append([]string{}, got...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

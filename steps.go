@@ -24,8 +24,10 @@ type BlockingOptions = blocking.Options
 // BlockIndex is the profile-to-blocks index meta-blocking consumes.
 type BlockIndex = blocking.Index
 
-// TokenBlocking builds blocks sequentially (schema-agnostic when
-// opts.Clustering is nil, loose-schema otherwise).
+// TokenBlocking builds blocks on the local machine with the parallel
+// sharded build (schema-agnostic when opts.Clustering is nil,
+// loose-schema otherwise). opts.Workers bounds the parallelism (default
+// GOMAXPROCS); the output is identical for every worker count.
 func TokenBlocking(c *Collection, opts BlockingOptions) *BlockCollection {
 	return blocking.TokenBlocking(c, opts)
 }
@@ -47,9 +49,17 @@ func FilterBlocks(blocks *BlockCollection, ratio float64) *BlockCollection {
 	return blocking.Filter(blocks, ratio)
 }
 
-// BuildBlockIndex prepares the meta-blocking input.
+// BuildBlockIndex prepares the meta-blocking input (a flat CSR over
+// dense profile IDs, carved by a counting pass).
 func BuildBlockIndex(blocks *BlockCollection) *BlockIndex {
 	return blocking.BuildIndex(blocks)
+}
+
+// DistinctCandidatePairs enumerates the de-duplicated candidate pairs a
+// block collection implies, in ascending (A, B) order — the candidate
+// set the matcher scores when meta-blocking is disabled.
+func DistinctCandidatePairs(blocks *BlockCollection) []CandidatePair {
+	return blocks.DistinctPairs()
 }
 
 // BlockingKey is one blocking key of a profile with its attribute
