@@ -6,13 +6,27 @@
 //
 //	go test -bench 'Metablocking|IndexQuery' -benchmem -run '^$' . \
 //	  | go run ./cmd/benchjson > BENCH_hotpath.json
+//
+// With -compare it additionally gates on a committed baseline: any
+// benchmark present in both runs whose ns/op or allocs/op regressed by
+// more than -max-regress (default 0.25, i.e. 25%) fails the run with
+// exit status 1 after printing the offending rows to stderr — the CI
+// bench-regression gate:
+//
+//	... | go run ./cmd/benchjson -compare BENCH_baseline.json > BENCH_hotpath.json
+//
+// Benchmarks only present on one side are reported to stderr but never
+// fail the gate (new benchmarks land together with their baseline row on
+// the next refresh; renamed ones would otherwise block unrelated PRs).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -29,6 +43,21 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// normalizeName strips the `-<procs>` suffix the testing package appends
+// to benchmark names when GOMAXPROCS > 1 (at GOMAXPROCS=1 none is
+// emitted). Without this, a baseline recorded on an N-core machine never
+// matches a run on an M-core machine and -compare gates nothing: every
+// benchmark would be a "not in baseline" note. Stripping exactly one
+// trailing -procs group is safe against sub-benchmark names that happen
+// to end in digits (e.g. shards-16 on a 16-proc machine is emitted as
+// shards-16-16 and normalizes back to shards-16).
+func normalizeName(name string, procs int) string {
+	if procs > 1 {
+		name = strings.TrimSuffix(name, fmt.Sprintf("-%d", procs))
+	}
+	return name
+}
+
 // parseLine parses one `BenchmarkX-8   123   456 ns/op   ...` line; ok is
 // false for non-benchmark lines (headers, PASS, ok).
 func parseLine(line string) (Result, bool) {
@@ -43,7 +72,10 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Runs: runs}
+	// benchjson runs in the same step, on the same machine, as the
+	// `go test -bench` that produced its stdin, so its own GOMAXPROCS
+	// matches the suffix of the names it is parsing.
+	r := Result{Name: normalizeName(fields[0], runtime.GOMAXPROCS(0)), Runs: runs}
 	// The remainder alternates value, unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -67,7 +99,50 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// regression describes one gate violation.
+type regression struct {
+	name     string
+	metric   string
+	baseline float64
+	current  float64
+}
+
+// compareResults checks every benchmark present in both runs against the
+// allowed regression ratio; missing counterparts are reported via notes.
+func compareResults(baseline, current []Result, maxRegress float64) (regs []regression, notes []string) {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (refresh BENCH_baseline.json to start gating it)", cur.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			regs = append(regs, regression{name: cur.Name, metric: "ns/op", baseline: b.NsPerOp, current: cur.NsPerOp})
+		}
+		if b.AllocsPerOp != nil && cur.AllocsPerOp != nil &&
+			*cur.AllocsPerOp > *b.AllocsPerOp*(1+maxRegress) {
+			regs = append(regs, regression{name: cur.Name, metric: "allocs/op", baseline: *b.AllocsPerOp, current: *cur.AllocsPerOp})
+		}
+	}
+	for _, r := range baseline {
+		if !seen[r.Name] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run", r.Name))
+		}
+	}
+	return regs, notes
+}
+
 func main() {
+	comparePath := flag.String("compare", "", "baseline JSON (as previously emitted by benchjson); exit 1 on regression beyond -max-regress")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression of ns/op and allocs/op vs the baseline")
+	flag.Parse()
+
 	results := []Result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -86,4 +161,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *comparePath == "" {
+		return
+	}
+
+	raw, err := os.ReadFile(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *comparePath, err)
+		os.Exit(1)
+	}
+	regs, notes := compareResults(baseline, results, *maxRegress)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% across %d benchmarks\n",
+			*maxRegress*100, len(results))
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s %s: %.6g -> %.6g (+%.1f%%, allowed %.0f%%)\n",
+			r.name, r.metric, r.baseline, r.current, (r.current/r.baseline-1)*100, *maxRegress*100)
+	}
+	os.Exit(1)
 }

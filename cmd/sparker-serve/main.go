@@ -19,6 +19,13 @@
 // "id" field plus attributes; ?source=1 targets the second clean source),
 // POST /snapshot/save, GET /stats.
 //
+// With -lsh fallback (or union) the index also maintains MinHash/LSH
+// bucket postings beside the token postings: queries whose tokens are
+// all purged as too common — invisible to token blocking — fall back to
+// an LSH probe that recovers high-overlap matches. /query accepts
+// per-request ?probe= and ?probe_floor= overrides, and /stats reports
+// bucket and probe counters.
+//
 // Durable snapshots make restarts warm: with -snapshot the server
 // restores the index from the file at boot (falling back to a fresh
 // build from the input flags when the file is absent or written by an
@@ -82,6 +89,12 @@ func run() error {
 		topK      = flag.Int("k", 10, "candidates kept by top-k pruning")
 		measure   = flag.String("measure", "jaccard", "match measure (jaccard, dice)")
 		threshold = flag.Float64("threshold", 0.3, "match threshold (negative keeps every scored candidate)")
+
+		lshPolicy    = flag.String("lsh", "off", "LSH probe policy (off, fallback, union); non-off maintains MinHash signatures beside the token postings")
+		lshSignature = flag.Int("lsh-signature", 128, "MinHash signature length (a restored snapshot keeps its saved parameters)")
+		lshThreshold = flag.Float64("lsh-threshold", 0.5, "LSH banding target Jaccard similarity in (0, 1]")
+		lshFloor     = flag.Int("lsh-floor", 1, "fallback probes when token blocking found fewer than this many candidates")
+		lshWeight    = flag.String("lsh-weight", "est-jaccard", "probe-only candidate weighting (est-jaccard, buckets)")
 	)
 	flag.Parse()
 
@@ -131,6 +144,35 @@ func run() error {
 		cfg.Measure = matching.DiceMeasure(cfg.Tokenizer)
 	default:
 		return fmt.Errorf("unknown measure %q", *measure)
+	}
+	probePolicy, err := index.ParseProbePolicy(*lshPolicy)
+	if err != nil {
+		return err
+	}
+	if probePolicy != index.ProbeOff {
+		if *lshSignature <= 0 {
+			return fmt.Errorf("-lsh-signature must be positive, got %d", *lshSignature)
+		}
+		if !(*lshThreshold > 0 && *lshThreshold <= 1) {
+			return fmt.Errorf("-lsh-threshold must be in (0, 1], got %v", *lshThreshold)
+		}
+		if *lshFloor < 1 {
+			return fmt.Errorf("-lsh-floor must be at least 1, got %d", *lshFloor)
+		}
+		cfg.LSH = index.LSHConfig{
+			Policy:        probePolicy,
+			SignatureLen:  *lshSignature,
+			Threshold:     *lshThreshold,
+			FallbackFloor: *lshFloor,
+		}
+		switch *lshWeight {
+		case "est-jaccard":
+			cfg.LSH.Weight = index.LSHWeightJaccard
+		case "buckets":
+			cfg.LSH.Weight = index.LSHWeightBuckets
+		default:
+			return fmt.Errorf("unknown LSH weighting %q", *lshWeight)
+		}
 	}
 
 	// Restore at boot: a present, version-compatible snapshot skips

@@ -118,6 +118,14 @@ func main() {
 	// (drop the server and the in-memory index), then warm-restart from
 	// the file. This is what `sparker-serve -snapshot idx.snap` does at
 	// boot and on SIGTERM — restores without re-tokenizing anything.
+	//
+	// Snapshot format note: since the LSH probe subsystem landed, Save
+	// writes format version 2, which adds an LSH section (MinHash
+	// parameters and per-profile signatures when the index has LSH
+	// enabled). Version-1 files written before the bump still load —
+	// and if the loading config enables LSH, signatures are recomputed
+	// from the stored token bags at boot, exactly as a fresh build
+	// would produce them.
 	dir, err := os.MkdirTemp("", "sparker-serving")
 	if err != nil {
 		log.Fatal(err)

@@ -98,6 +98,10 @@ type Config struct {
 	// Zero resolves to 0.3 (the unsupervised pipeline default); use a
 	// negative value to keep every scored candidate.
 	MatchThreshold float64
+	// LSH configures the MinHash/LSH probe subsystem, the second
+	// candidate-generation modality beside the token postings (see
+	// lsh.go). The zero value disables it.
+	LSH LSHConfig
 
 	// defaultJaccard records that Measure was nil and withDefaults
 	// installed the whole-profile Jaccard, enabling the cached-bag scorer.
@@ -140,6 +144,7 @@ func (c Config) withDefaults() Config {
 		c.Measure = matching.JaccardMeasure(c.Tokenizer)
 		c.defaultJaccard = true
 	}
+	c.LSH = c.LSH.withDefaults()
 	return c
 }
 
@@ -169,10 +174,15 @@ func (pl *posting) comparisons(clean bool) float64 {
 	return c
 }
 
-// shard is one independently locked slice of the token space.
+// shard is one independently locked slice of the token space. When LSH
+// is enabled it also carries that key range's bucket postings: both maps
+// live under the one mutex, so the probe subsystem inherits the token
+// postings' locking discipline wholesale.
 type shard struct {
 	mu       sync.RWMutex
 	postings map[string]*posting
+	// buckets maps LSH band keys to bucket postings (nil when disabled).
+	buckets map[uint64]*posting
 }
 
 // storedProfile is an immutable snapshot of one indexed profile; Upsert
@@ -183,6 +193,10 @@ type storedProfile struct {
 	// bag is the distinct whole-profile token set, cached for the default
 	// Jaccard scorer (nil when a custom Measure is configured).
 	bag []string
+	// sig is the MinHash signature of the token bag (nil when LSH is
+	// disabled or the bag is empty). Band keys are a pure function of it,
+	// so removal re-derives them instead of storing them.
+	sig []uint64
 }
 
 // Index is a concurrent, sharded, incrementally maintainable entity index.
@@ -205,6 +219,15 @@ type Index struct {
 	numBlocks   atomic.Int64
 	queries     atomic.Int64
 	upserts     atomic.Int64
+
+	// lsh is the probe subsystem (nil when disabled); numBuckets counts
+	// live bucket postings (kept apart from numBlocks, which the ECBS
+	// weight consumes and must stay token-only), lshProbes the queries
+	// that ran a probe, and lshOnly the candidates only the probe found.
+	lsh        *lshState
+	numBuckets atomic.Int64
+	lshProbes  atomic.Int64
+	lshOnly    atomic.Int64
 
 	// idBound is one past the largest internal ID ever assigned; the
 	// query path sizes its flat candidate scratch to it.
@@ -236,8 +259,12 @@ func New(clean bool, cfg Config) *Index {
 		byID:   make(map[profile.ID]*storedProfile),
 		byOrig: make(map[string]profile.ID),
 	}
+	x.lsh = newLSHState(cfg.LSH)
 	for i := range x.shards {
 		x.shards[i] = &shard{postings: make(map[string]*posting)}
+		if x.lsh != nil {
+			x.shards[i].buckets = make(map[uint64]*posting)
+		}
 	}
 	return x
 }
@@ -364,6 +391,10 @@ func (x *Index) putLocked(p profile.Profile) {
 	if x.cfg.defaultJaccard {
 		sp.bag = distinctBag(&p, x.cfg)
 	}
+	if x.lshOn() {
+		sp.sig = x.signatureOf(sp)
+		x.addLSHLocked(sp)
+	}
 	for _, kt := range sp.keys {
 		s := x.shardFor(kt.Key)
 		s.mu.Lock()
@@ -414,6 +445,9 @@ func (x *Index) removeLocked(id profile.ID) {
 			}
 		}
 		s.mu.Unlock()
+	}
+	if x.lshOn() {
+		x.removeLSHLocked(sp)
 	}
 	x.numProfiles.Add(-1)
 }

@@ -1,0 +1,144 @@
+package index
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sparker/internal/datagen"
+	"sparker/internal/profile"
+	"sparker/internal/tokenize"
+)
+
+var (
+	recallOnce sync.Once
+	recallCol  *profile.Collection
+)
+
+// recallCollection memoises the ~10k-profile datagen collection the
+// serving benchmarks use.
+func recallCollection(t testing.TB) *profile.Collection {
+	t.Helper()
+	recallOnce.Do(func() {
+		cfg := datagen.AbtBuy()
+		cfg.CoreEntities = 4500
+		cfg.AOnly = 400
+		cfg.BDup = 400
+		recallCol = datagen.Generate(cfg).Collection
+	})
+	return recallCol
+}
+
+// TestFallbackRecallOnDatagen runs the rare-token recall scenario on the
+// 10k datagen collection instead of a synthetic toy: queries built from
+// only the too-common tokens of an indexed profile (every one of their
+// postings is over the purge bound) are invisible to token blocking, and
+// the ProbeFallback policy must recover at least one such match class.
+// The test is fully deterministic: fixed generator seed, fixed MinHash
+// seed, fixed thresholds.
+func TestFallbackRecallOnDatagen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k collection build")
+	}
+	c := recallCollection(t)
+
+	cfg := DefaultConfig()
+	cfg.LSH = LSHConfig{Policy: ProbeFallback, Threshold: 0.4}
+	cfg.MaxBlockFraction = 0.02 // purge postings above ~2% of the collection
+	x, err := NewFromCollection(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSize := int(cfg.MaxBlockFraction * float64(c.Size()))
+
+	// Document frequency of every distinct token, to find each profile's
+	// "too common" subset without peeking at index internals.
+	df := make(map[string]int)
+	for i := range c.Profiles {
+		seen := make(map[string]bool)
+		for _, kv := range c.Profiles[i].Attributes {
+			for _, tok := range cfg.Tokenizer.Tokens(kv.Value) {
+				if !seen[tok] {
+					seen[tok] = true
+					df[tok]++
+				}
+			}
+		}
+	}
+
+	recovered, blind := 0, 0
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		var common, all []string
+		seen := make(map[string]bool)
+		for _, kv := range p.Attributes {
+			for _, tok := range cfg.Tokenizer.Tokens(kv.Value) {
+				if seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				all = append(all, tok)
+				if df[tok] > maxSize {
+					common = append(common, tok)
+				}
+			}
+		}
+		// A usable blind-spot query: several tokens, all too common, and
+		// still covering most of the profile's bag so the overall Jaccard
+		// stays above the banding threshold.
+		if len(common) < 4 || len(common)*10 < len(all)*7 {
+			continue
+		}
+		// Clean-clean semantics: candidates come from the opposite
+		// source, so the probe poses as the other side's record.
+		q := profile.Profile{OriginalID: "recall-probe", SourceID: 1 - p.SourceID}
+		q.Add("blob", strings.Join(common, " "))
+
+		off := x.QueryWith(&q, ProbeOptions{Policy: ProbeOff})
+		if len(off.Candidates) != 0 {
+			continue // a posting survived purging after all
+		}
+		blind++
+		fb := x.QueryWith(&q, ProbeOptions{Policy: ProbeFallback})
+		for _, cand := range fb.Candidates {
+			if cand.ID == p.ID {
+				recovered++
+				break
+			}
+		}
+		if blind >= 50 {
+			break // enough classes sampled
+		}
+	}
+	if blind == 0 {
+		t.Fatal("no token-blind query class found in the 10k collection; scenario needs retuning")
+	}
+	if recovered == 0 {
+		t.Fatalf("fallback recovered none of %d token-blind query classes", blind)
+	}
+	t.Logf("fallback recovered %d of %d token-blind query classes", recovered, blind)
+}
+
+// TestFallbackRecallTokenizerConsistency guards the DF computation above
+// against tokenizer drift: Tokens and the index's key derivation must
+// agree on the default config.
+func TestFallbackRecallTokenizerConsistency(t *testing.T) {
+	p := profile.Profile{OriginalID: "x"}
+	p.Add("name", "Acme TurboBlend 5000, with the turbo mode!")
+	cfg := DefaultConfig()
+	toks := cfg.Tokenizer.Tokens("Acme TurboBlend 5000, with the turbo mode!")
+	if len(toks) == 0 {
+		t.Fatal("tokenizer returned nothing")
+	}
+	var viaScratch []string
+	var sc tokenize.Scratch
+	viaScratch = cfg.Tokenizer.AppendTokens(viaScratch, "Acme TurboBlend 5000, with the turbo mode!", &sc)
+	if len(viaScratch) != len(toks) {
+		t.Fatalf("AppendTokens %v != Tokens %v", viaScratch, toks)
+	}
+	for i := range toks {
+		if toks[i] != viaScratch[i] {
+			t.Fatalf("token %d: %q vs %q", i, viaScratch[i], toks[i])
+		}
+	}
+}

@@ -8,14 +8,22 @@ package index
 // File layout (integers are varints, strings are uvarint length + bytes):
 //
 //	magic   "SPKRIDX1" (8 bytes)
-//	uvarint format version (currently 1)
+//	uvarint format version (currently 2; version-1 files still load)
 //	header  clean flag, shard count, save timestamp, nextID,
 //	        queries/upserts counters, profile count, posting count
+//	LSH     (v2+) presence byte; when set: signature length, MinHash
+//	        seed, banding threshold bits, probe counters
 //	profiles section: per profile ID, source, original ID, attributes,
-//	        blocking keys (with clusters), optional cached token bag
+//	        blocking keys (with clusters), optional cached token bag,
+//	        and (v2+, LSH present) an optional MinHash signature
 //	per-shard sections: posting count, then per posting key, cluster,
 //	        and the source-A / source-B ID lists in live order
 //	trailer CRC-32 (IEEE) of every preceding byte
+//
+// LSH bucket postings are not serialized: band keys are a pure function
+// of (signature, banding layout), so Decode re-derives the buckets from
+// the stored signatures — the snapshot stays smaller and a crafted file
+// cannot describe buckets inconsistent with the signatures.
 //
 // Encoding is deterministic (profiles by ID, postings by key within each
 // shard, ID lists verbatim): save → load → save reproduces the exact
@@ -42,8 +50,11 @@ import (
 )
 
 const (
-	snapshotMagic   = "SPKRIDX1"
-	snapshotVersion = 1
+	snapshotMagic = "SPKRIDX1"
+	// snapshotVersion is the format this build writes; snapshotVersionV1
+	// (no LSH section) is still accepted by Decode.
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
 
 	// maxSnapshotString bounds any single length-prefixed string
 	// (attribute values, blocking keys) a snapshot may carry. Enforced
@@ -59,6 +70,12 @@ const (
 	maxSnapshotShards = 1 << 12
 	// maxSnapshotCluster bounds decoded attribute-cluster IDs.
 	maxSnapshotCluster = 1 << 30
+	// maxSnapshotSigLen bounds the decoded MinHash signature length.
+	maxSnapshotSigLen = 1 << 12
+	// maxSignatureValue is one past the largest value a MinHash position
+	// can hold: lsh's Mersenne prime 2^61-1. Signatures are only stored
+	// for non-empty token bags, so every position is a real hash minimum.
+	maxSignatureValue = (1 << 61) - 1
 )
 
 var (
@@ -207,9 +224,9 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot version: %w", err)
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
-			ErrSnapshotVersion, version, snapshotVersion)
+	if version != snapshotVersion && version != snapshotVersionV1 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d and %d",
+			ErrSnapshotVersion, version, snapshotVersionV1, snapshotVersion)
 	}
 
 	cleanByte, err := cr.byte()
@@ -252,14 +269,63 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("snapshot posting count: %w", err)
 	}
 
+	// LSH section header (v2+): the MinHash parameters are data — two
+	// indexes only agree on signatures when length, seed and banding
+	// threshold match — so, like the shard count, the file's values
+	// override cfg's when the snapshot carries signatures. The probe
+	// policy, floor and weighting stay query-time configuration.
+	fileLSH := false
+	var (
+		fileSigLen              uint64
+		fileSeed                int64
+		fileThreshold           float64
+		fileProbes, fileLSHOnly uint64
+	)
+	if version >= 2 {
+		lshByte, err := cr.byte()
+		if err != nil || lshByte > 1 {
+			return nil, fmt.Errorf("snapshot LSH flag: %w", orBad(err, lshByte))
+		}
+		fileLSH = lshByte == 1
+		if fileLSH {
+			fileSigLen, err = cr.uvarint()
+			if err != nil || fileSigLen < 1 || fileSigLen > maxSnapshotSigLen {
+				return nil, fmt.Errorf("snapshot signature length %d: %w", fileSigLen, orBad(err, 0))
+			}
+			if fileSeed, err = cr.varint(); err != nil {
+				return nil, fmt.Errorf("snapshot LSH seed: %w", err)
+			}
+			bits, err := cr.uvarint()
+			fileThreshold = math.Float64frombits(bits)
+			// NaN fails the comparison chain too: the threshold must be a
+			// real similarity in (0, 1].
+			if err != nil || !(fileThreshold > 0 && fileThreshold <= 1) {
+				return nil, fmt.Errorf("snapshot LSH threshold %v: %w", fileThreshold, orBad(err, 0))
+			}
+			fileProbes, err = cr.uvarint()
+			if err != nil || fileProbes > math.MaxInt64 {
+				return nil, fmt.Errorf("snapshot LSH probe counter: %w", orBad(err, 0))
+			}
+			fileLSHOnly, err = cr.uvarint()
+			if err != nil || fileLSHOnly > math.MaxInt64 {
+				return nil, fmt.Errorf("snapshot LSH candidate counter: %w", orBad(err, 0))
+			}
+		}
+	}
+
 	cfg.Shards = int(shards)
+	if cfg.LSH.Policy != ProbeOff && fileLSH {
+		cfg.LSH.SignatureLen = int(fileSigLen)
+		cfg.LSH.Seed = fileSeed
+		cfg.LSH.Threshold = fileThreshold
+	}
 	x := New(clean, cfg)
 
 	// Profiles section. Every record consumes at least a few bytes, so a
 	// lying count fails on EOF long before allocation grows past the
 	// input size.
 	for i := uint64(0); i < numProfiles; i++ {
-		sp, err := decodeProfile(cr, x, nextID)
+		sp, err := decodeProfile(cr, x, nextID, fileLSH, int(fileSigLen))
 		if err != nil {
 			return nil, fmt.Errorf("snapshot profile %d/%d: %w", i, numProfiles, err)
 		}
@@ -270,6 +336,18 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 		key := origKey(&sp.p)
 		if _, dup := x.byOrig[key]; dup {
 			return nil, fmt.Errorf("snapshot profile %d/%d: duplicate identity %s", i, numProfiles, key)
+		}
+		// Bucket postings are a pure function of (signature, banding):
+		// re-derive them instead of trusting serialized lists. A file
+		// without signatures (v1, or saved with LSH off) gets them
+		// computed from the token bags, exactly as a fresh build would.
+		if x.lshOn() {
+			if sp.sig == nil && !fileLSH {
+				sp.sig = x.signatureOf(sp)
+			}
+			x.addLSHLocked(sp)
+		} else {
+			sp.sig = nil
 		}
 		x.byID[id] = sp
 		x.byOrig[key] = id
@@ -313,6 +391,10 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	x.numBlocks.Store(int64(totalPostings))
 	x.queries.Store(int64(queries))
 	x.upserts.Store(int64(upserts))
+	if x.lshOn() && fileLSH {
+		x.lshProbes.Store(int64(fileProbes))
+		x.lshOnly.Store(int64(fileLSHOnly))
+	}
 	x.restored = true
 	x.persist = PersistState{
 		Restored: true,
@@ -325,9 +407,18 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 // encodeLocked streams the snapshot; caller holds writeMu, so no writer
 // can interleave and the byID/shard reads need no further locking.
 func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
+	return x.encodeVersionLocked(w, savedAt, snapshotVersion)
+}
+
+// encodeVersionLocked writes the requested format version: Save and
+// Encode always pass snapshotVersion; the backward-compatibility tests
+// pass snapshotVersionV1 to produce genuine v1 byte streams (which have
+// no LSH section, so an LSH-enabled index writes its signatures only at
+// v2+).
+func (x *Index) encodeVersionLocked(w io.Writer, savedAt time.Time, version uint64) (int64, error) {
 	cw := &crcWriter{w: w}
 	cw.bytes([]byte(snapshotMagic))
-	cw.uvarint(snapshotVersion)
+	cw.uvarint(version)
 	if x.clean {
 		cw.byte(1)
 	} else {
@@ -340,6 +431,20 @@ func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
 	cw.uvarint(uint64(x.upserts.Load()))
 	cw.uvarint(uint64(len(x.byID)))
 	cw.uvarint(uint64(x.numBlocks.Load()))
+
+	withLSH := version >= 2 && x.lshOn()
+	if version >= 2 {
+		if withLSH {
+			cw.byte(1)
+			cw.uvarint(uint64(x.cfg.LSH.SignatureLen))
+			cw.varint(x.cfg.LSH.Seed)
+			cw.uvarint(math.Float64bits(x.cfg.LSH.Threshold))
+			cw.uvarint(uint64(x.lshProbes.Load()))
+			cw.uvarint(uint64(x.lshOnly.Load()))
+		} else {
+			cw.byte(0)
+		}
+	}
 
 	ids := make([]profile.ID, 0, len(x.byID))
 	for id := range x.byID {
@@ -376,6 +481,16 @@ func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
 			}
 		} else {
 			cw.byte(0)
+		}
+		if withLSH {
+			if sp.sig != nil {
+				cw.byte(1)
+				for _, v := range sp.sig {
+					cw.uvarint(v)
+				}
+			} else {
+				cw.byte(0)
+			}
 		}
 	}
 
@@ -416,8 +531,11 @@ func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
 	return cw.n, cw.err
 }
 
-// decodeProfile reads one profiles-section record.
-func decodeProfile(cr *crcReader, x *Index, idBound uint64) (*storedProfile, error) {
+// decodeProfile reads one profiles-section record. When the file carries
+// an LSH section (readSig), each record ends with an optional signature
+// of exactly sigLen values; it is consumed even when the decoding config
+// has LSH off, and discarded by the caller in that case.
+func decodeProfile(cr *crcReader, x *Index, idBound uint64, readSig bool, sigLen int) (*storedProfile, error) {
 	id, err := cr.uvarint()
 	if err != nil {
 		return nil, err
@@ -503,6 +621,30 @@ func decodeProfile(cr *crcReader, x *Index, idBound uint64) (*storedProfile, err
 			bag = distinctBag(&sp.p, x.cfg)
 		}
 		sp.bag = bag
+	}
+
+	if readSig {
+		hasSig, err := cr.byte()
+		if err != nil || hasSig > 1 {
+			return nil, fmt.Errorf("signature flag: %w", orBad(err, hasSig))
+		}
+		if hasSig == 1 {
+			// sigLen is header-validated (≤ maxSnapshotSigLen) and every
+			// value costs at least one input byte, so a truncated file
+			// errors after at most one bounded allocation.
+			sig := make([]uint64, 0, sigLen)
+			for i := 0; i < sigLen; i++ {
+				v, err := cr.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("signature value %d/%d: %w", i, sigLen, err)
+				}
+				if v >= maxSignatureValue {
+					return nil, fmt.Errorf("signature value %d out of range", v)
+				}
+				sig = append(sig, v)
+			}
+			sp.sig = sig
+		}
 	}
 	return sp, nil
 }

@@ -10,8 +10,11 @@ import (
 // consistent, queryable index or returns an error — never a panic, and
 // never an allocation proportional to a lying length header rather than
 // to the input actually supplied. Seeds cover valid snapshots of both
-// task types (with and without entropy keys) plus the mutation classes
-// the decoder must reject: truncation, bit flips, and version bumps.
+// task types (with and without entropy keys), LSH-enabled snapshots and
+// genuine version-1 files, plus the mutation classes the decoder must
+// reject: truncation, bit flips, and version bumps. Every input is
+// decoded under a plain config and an LSH-enabled one: the v2 LSH
+// section must hold up whether its signatures are kept or discarded.
 func FuzzLoadIndex(f *testing.F) {
 	dirty := encodeToBytes(f, smallTestIndex(f, false))
 	clean := encodeToBytes(f, smallTestIndex(f, true))
@@ -29,7 +32,29 @@ func FuzzLoadIndex(f *testing.F) {
 
 	empty := encodeToBytes(f, New(true, DefaultConfig()))
 
-	for _, seed := range [][]byte{dirty, clean, entropy, empty} {
+	// LSH seeds stay deliberately tiny (few profiles, short signatures):
+	// mutation throughput degrades with corpus entry size, and a 16-wide
+	// signature walks the same decode paths as a 128-wide one.
+	smallLSH := func(clean bool) *Index {
+		sources := 1
+		if clean {
+			sources = 2
+		}
+		cfg := DefaultConfig()
+		cfg.LSH = LSHConfig{Policy: ProbeFallback, SignatureLen: 16}
+		x := New(clean, cfg)
+		for _, p := range synthQueryProfiles(8, sources, 19) {
+			if _, _, err := x.Upsert(p); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return x
+	}
+	withLSH := encodeToBytes(f, smallLSH(false))
+	cleanLSH := encodeToBytes(f, smallLSH(true))
+	v1 := encodeVersionToBytes(f, smallTestIndex(f, false), snapshotVersionV1)
+
+	for _, seed := range [][]byte{dirty, clean, entropy, empty, withLSH, cleanLSH, v1} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])                      // truncated
 		f.Add(seed[:len(seed)-3])                      // lost trailer
@@ -47,21 +72,27 @@ func FuzzLoadIndex(f *testing.F) {
 	f.Add([]byte{})
 
 	cfg := DefaultConfig()
+	lshCfg := lshTestConfig(ProbeFallback)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		x, err := Decode(bytes.NewReader(data), cfg)
-		if err != nil {
-			return
-		}
-		// Decoded successfully: the index must hold together under use.
-		s := x.Snapshot()
-		if s.Profiles != x.Size() {
-			t.Fatalf("snapshot profiles %d != size %d", s.Profiles, x.Size())
-		}
-		q := mkProfile("probe", "name", "alpha shared0 tok1")
-		x.Query(&q)
-		x.Resolve(&q)
-		if _, _, err := x.Upsert(mkProfile("fresh", "name", "post fuzz upsert")); err != nil {
-			t.Fatalf("upsert on decoded index: %v", err)
+		for _, c := range []Config{cfg, lshCfg} {
+			x, err := Decode(bytes.NewReader(data), c)
+			if err != nil {
+				continue
+			}
+			// Decoded successfully: the index must hold together under use.
+			s := x.Snapshot()
+			if s.Profiles != x.Size() {
+				t.Fatalf("snapshot profiles %d != size %d", s.Profiles, x.Size())
+			}
+			q := mkProfile("probe", "name", "alpha shared0 tok1")
+			x.Query(&q)
+			x.Resolve(&q)
+			if x.LSHEnabled() {
+				x.QueryWith(&q, ProbeOptions{Policy: ProbeUnion})
+			}
+			if _, _, err := x.Upsert(mkProfile("fresh", "name", "post fuzz upsert")); err != nil {
+				t.Fatalf("upsert on decoded index: %v", err)
+			}
 		}
 	})
 }

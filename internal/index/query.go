@@ -11,6 +11,7 @@ import (
 	"sparker/internal/core"
 	"sparker/internal/evaluation"
 	"sparker/internal/kernel"
+	"sparker/internal/lsh"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
 	"sparker/internal/profile"
@@ -19,10 +20,16 @@ import (
 // Candidate is one ranked match candidate of a query.
 type Candidate struct {
 	ID profile.ID
-	// Weight is the meta-blocking scheme weight of the candidate.
+	// Weight is the meta-blocking scheme weight of the candidate. A
+	// probe-only candidate (SharedKeys zero, surfaced by the LSH probe)
+	// is instead weighted by estimated Jaccard or shared-bucket count,
+	// per LSHConfig.Weight.
 	Weight float64
 	// SharedKeys is the number of blocking keys shared with the query.
 	SharedKeys int
+	// SharedBuckets is the number of LSH buckets shared with the query
+	// (zero unless a probe ran).
+	SharedBuckets int
 }
 
 // QueryResult carries the ranked candidates plus the probe accounting
@@ -40,12 +47,27 @@ type QueryResult struct {
 	// BlocksFiltered counts postings skipped as the least distinctive of
 	// the query's blocks (the online analogue of block filtering).
 	BlocksFiltered int
-	// PostingsScanned counts profile entries read across probed postings —
-	// the true per-query work bound, orders of magnitude below the
-	// collection size for selective queries.
+	// PostingsScanned counts profile entries read across probed postings
+	// (token postings and, when a probe ran, LSH buckets) — the true
+	// per-query work bound, orders of magnitude below the collection
+	// size for selective queries.
 	PostingsScanned int
 	// Pruned counts candidates dropped by the pruning rule.
 	Pruned int
+
+	// LSHProbed reports whether the LSH probe ran for this query (under
+	// ProbeFallback, only when token candidates fell below the floor).
+	LSHProbed bool
+	// BucketsProbed counts LSH bucket postings scanned by the probe;
+	// BucketsPurged counts buckets skipped as oversized (the same purge
+	// bound the token postings use).
+	BucketsProbed int
+	BucketsPurged int
+	// LSHCandidates counts candidates surfaced only by the probe — they
+	// share no blocking key with the query and token blocking alone
+	// would have missed them. Counted before pruning, so it can exceed
+	// len(Candidates).
+	LSHCandidates int
 
 	// selfID is the query profile's internal ID when it is itself
 	// indexed, or -1; Resolve reuses it to label matches.
@@ -54,11 +76,14 @@ type QueryResult struct {
 
 // candAcc accumulates the per-candidate co-occurrence statistics the
 // weight schemes need, mirroring metablocking's edge accumulator.
+// buckets counts shared LSH buckets; a candidate with cbs zero and
+// buckets non-zero was found by the probe alone.
 type candAcc struct {
 	cbs        int
 	arcs       float64
 	entropySum float64
 	entArcs    float64
+	buckets    int
 }
 
 // keyBufPool recycles the per-query blocking-key buffers of Query.
@@ -89,9 +114,18 @@ func (x *Index) getScratch() *queryScratch {
 func (x *Index) putScratch(s *queryScratch) { x.scratchPool.Put(s) }
 
 // Query ranks the candidate matches of p by probing only the postings its
-// blocking keys hit. p does not need to be indexed; when it is (same
+// blocking keys hit (plus, per the configured LSH policy, the LSH buckets
+// its signature hits). p does not need to be indexed; when it is (same
 // source and original ID), it is excluded from its own candidates.
 func (x *Index) Query(p *profile.Profile) *QueryResult {
+	return x.QueryWith(p, ProbeOptions{Policy: x.cfg.LSH.Policy})
+}
+
+// QueryWith is Query with per-query probe overrides: serving layers use
+// it to let one request opt into (or out of) the LSH probe without
+// rebuilding the index. On an index without LSH every policy degrades to
+// ProbeOff.
+func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 	x.queries.Add(1)
 	// Dirty indexes store everything under source 0 (Upsert normalizes);
 	// queries must match, or self-exclusion and loose-schema keys break.
@@ -217,17 +251,87 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 		s.mu.RUnlock()
 	}
 
+	// Pass 3 — the LSH probe, when the policy asks for it: walk the
+	// bucket postings the query's signature hits, marking co-occurrence
+	// in the same pooled scratch. Shared-bucket counts never alter a
+	// token candidate's scheme weight; they only surface candidates the
+	// token postings missed (weighted in weigh below).
+	var qsig []uint64
+	if x.lshOn() && opts.Policy != ProbeOff {
+		floor := opts.Floor
+		if floor <= 0 {
+			floor = x.cfg.LSH.FallbackFloor
+		}
+		if opts.Policy == ProbeUnion || len(sc.Touched()) < floor {
+			ls := x.lsh.getScratch()
+			qsig = x.querySignature(ls, p)
+			if qsig != nil {
+				res.LSHProbed = true
+				x.lshProbes.Add(1)
+				x.probeLSH(p, qsig, selfID, maxSize, sc, res)
+			}
+			defer x.lsh.putScratch(ls)
+		}
+	}
+
 	res.selfID = selfID
-	res.Candidates = x.weigh(liveKeys, sc)
+	x.weigh(res, liveKeys, sc, qsig)
 	res.Pruned = x.prune(res)
 	return res
 }
 
+// probeLSH scans the bucket postings of the query signature's band keys,
+// accumulating shared-bucket counts per candidate.
+func (x *Index) probeLSH(p *profile.Profile, qsig []uint64, selfID profile.ID, maxSize int, sc *queryScratch, res *QueryResult) {
+	for b := 0; b < x.lsh.bands; b++ {
+		key := lsh.BandKey(qsig, b, x.lsh.rows)
+		s := x.bucketShard(key)
+		s.mu.RLock()
+		pl := s.buckets[key]
+		if pl == nil {
+			s.mu.RUnlock()
+			continue
+		}
+		// The same per-query purge bound as the token postings: a bucket
+		// holding most of the collection (banding noise at low
+		// thresholds) is skipped, not scanned.
+		if pl.size() > maxSize {
+			res.BucketsPurged++
+			s.mu.RUnlock()
+			continue
+		}
+		res.BucketsProbed++
+		visit := func(ids []profile.ID) {
+			res.PostingsScanned += len(ids)
+			for _, id := range ids {
+				if id == selfID {
+					continue
+				}
+				sc.Slot(id).buckets++
+			}
+		}
+		if x.clean {
+			if p.SourceID == 1 {
+				visit(pl.a)
+			} else {
+				visit(pl.b)
+			}
+		} else {
+			visit(pl.a)
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // weigh converts the accumulated co-occurrence statistics into ranked
-// weighted candidates using the configured meta-blocking scheme.
-func (x *Index) weigh(queryKeys int, sc *queryScratch) []Candidate {
+// weighted candidates using the configured meta-blocking scheme, filling
+// res.Candidates and res.LSHCandidates. Probe-only candidates (no shared
+// blocking key — every co-occurrence scheme scores them zero) are
+// weighted by estimated Jaccard against qsig, or by shared-bucket count,
+// per LSHConfig.Weight.
+func (x *Index) weigh(res *QueryResult, queryKeys int, sc *queryScratch, qsig []uint64) {
 	if len(sc.Touched()) == 0 {
-		return nil
+		return
 	}
 	numBlocks := float64(x.numBlocks.Load())
 	// Only the ratio schemes need each candidate's block count; CBS and
@@ -241,6 +345,19 @@ func (x *Index) weigh(queryKeys int, sc *queryScratch) []Candidate {
 	x.mu.RLock()
 	for _, id := range sc.Touched() {
 		a := sc.At(id)
+		if a.cbs == 0 {
+			// Probe-only candidate: reachable only when an LSH probe ran.
+			w := float64(a.buckets)
+			if x.cfg.LSH.Weight == LSHWeightJaccard {
+				w = 0
+				if sp := x.byID[id]; sp != nil {
+					w = lsh.EstimateJaccard(qsig, sp.sig)
+				}
+			}
+			out = append(out, Candidate{ID: id, Weight: w, SharedBuckets: a.buckets})
+			res.LSHCandidates++
+			continue
+		}
 		candKeys := 0
 		if needsCandKeys {
 			if sp := x.byID[id]; sp != nil {
@@ -248,19 +365,23 @@ func (x *Index) weigh(queryKeys int, sc *queryScratch) []Candidate {
 			}
 		}
 		out = append(out, Candidate{
-			ID:         id,
-			Weight:     x.weight(a, queryKeys, candKeys, numBlocks),
-			SharedKeys: a.cbs,
+			ID:            id,
+			Weight:        x.weight(a, queryKeys, candKeys, numBlocks),
+			SharedKeys:    a.cbs,
+			SharedBuckets: a.buckets,
 		})
 	}
 	x.mu.RUnlock()
+	if res.LSHCandidates > 0 {
+		x.lshOnly.Add(int64(res.LSHCandidates))
+	}
 	slices.SortFunc(out, func(a, b Candidate) int {
 		if a.Weight != b.Weight {
 			return cmp.Compare(b.Weight, a.Weight)
 		}
 		return cmp.Compare(a.ID, b.ID)
 	})
-	return out
+	res.Candidates = out
 }
 
 // weight mirrors metablocking's edge weighting for one query/candidate
@@ -349,7 +470,12 @@ type Resolution struct {
 // threshold — blocking, meta-blocking pruning and matching collapsed into
 // one sub-millisecond point lookup.
 func (x *Index) Resolve(p *profile.Profile) *Resolution {
-	qr := x.Query(p)
+	return x.ResolveWith(p, ProbeOptions{Policy: x.cfg.LSH.Policy})
+}
+
+// ResolveWith is Resolve with per-query probe overrides (see QueryWith).
+func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
+	qr := x.QueryWith(p, opts)
 	r := &Resolution{Query: qr}
 	queryID := qr.selfID
 

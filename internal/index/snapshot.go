@@ -25,6 +25,9 @@ type Snapshot struct {
 	// Persist describes the durable-snapshot state (last save / restore
 	// source), or nil when the index has never been saved or restored.
 	Persist *PersistState `json:"persist,omitempty"`
+	// LSH describes the probe subsystem (bucket count, probe counters),
+	// or nil when LSH is disabled.
+	LSH *LSHStats `json:"lsh,omitempty"`
 }
 
 // Snapshot summarises the index. It takes the writer lock, so the totals
@@ -42,6 +45,17 @@ func (x *Index) Snapshot() Snapshot {
 	}
 	if st, ok := x.PersistState(); ok {
 		s.Persist = &st
+	}
+	if x.lshOn() {
+		s.LSH = &LSHStats{
+			Policy:              x.cfg.LSH.Policy.String(),
+			SignatureLen:        x.cfg.LSH.SignatureLen,
+			Bands:               x.lsh.bands,
+			Rows:                x.lsh.rows,
+			Buckets:             int(x.numBuckets.Load()),
+			Probes:              x.lshProbes.Load(),
+			ProbeOnlyCandidates: x.lshOnly.Load(),
+		}
 	}
 	for _, sh := range x.shards {
 		sh.mu.RLock()

@@ -5,7 +5,6 @@
 package lsh
 
 import (
-	"hash/fnv"
 	"math"
 	"math/bits"
 	"math/rand"
@@ -40,17 +39,41 @@ func NewMinHasher(signatureLen int, seed int64) *MinHasher {
 // SignatureLen returns the length of signatures produced by the hasher.
 func (h *MinHasher) SignatureLen() int { return len(h.a) }
 
+// fnv64a hashes bytes-of-a-string with inline FNV-1a: identical values to
+// hash/fnv's New64a, without materialising the hash.Hash64 interface that
+// would heap-allocate once per token on the signature hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // tokenHash maps a token into [0, mersennePrime).
 func tokenHash(token string) uint64 {
-	f := fnv.New64a()
-	f.Write([]byte(token))
-	return f.Sum64() % mersennePrime
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(token); i++ {
+		h ^= uint64(token[i])
+		h *= fnvPrime64
+	}
+	return h % mersennePrime
 }
 
 // Signature computes the MinHash signature of a token set. Empty sets get
 // an all-max signature that matches nothing.
 func (h *MinHasher) Signature(tokens []string) []uint64 {
-	sig := make([]uint64, len(h.a))
+	return h.AppendSignature(nil, tokens)
+}
+
+// AppendSignature computes the MinHash signature of a token set into
+// dst's backing array (grown as needed) and returns the first
+// SignatureLen entries — the allocation-free form of Signature for hot
+// paths that pool the destination. Duplicate tokens do not change the
+// result: a minimum is idempotent under repetition.
+func (h *MinHasher) AppendSignature(dst []uint64, tokens []string) []uint64 {
+	n := len(h.a)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	sig := dst[:n]
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
@@ -149,6 +172,41 @@ func BandingParams(signatureLen int, threshold float64) (bands, rows int) {
 	return signatureLen / best, best
 }
 
+// rowsHash is the FNV-1a hash of one band's rows (little-endian byte
+// order per value), identical to hashing the same bytes through
+// hash/fnv.New64a.
+func rowsHash(sig []uint64, band, rows int) uint64 {
+	h := uint64(fnvOffset64)
+	for r := 0; r < rows; r++ {
+		v := sig[band*rows+r]
+		for k := 0; k < 8; k++ {
+			h ^= uint64(byte(v >> (8 * k)))
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// BandKey folds one band of a signature into a single 64-bit bucket key:
+// the band index is hashed in ahead of the row values, so the same row
+// pattern in different bands lands in different buckets. The online
+// index's per-shard bucket postings are keyed by it.
+func BandKey(sig []uint64, band, rows int) uint64 {
+	h := uint64(fnvOffset64)
+	for k := 0; k < 8; k++ {
+		h ^= uint64(byte(uint64(band) >> (8 * k)))
+		h *= fnvPrime64
+	}
+	for r := 0; r < rows; r++ {
+		v := sig[band*rows+r]
+		for k := 0; k < 8; k++ {
+			h ^= uint64(byte(v >> (8 * k)))
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
 // Candidates runs banding LSH over the signatures: items whose signature
 // agrees on every row of at least one band become a candidate pair. Pairs
 // are deduplicated and returned in deterministic order.
@@ -163,16 +221,7 @@ func Candidates(signatures [][]uint64, bands, rows int) []CandidatePair {
 	buckets := make(map[bandKey][]int)
 	for item, sig := range signatures {
 		for b := 0; b < bands && (b+1)*rows <= len(sig); b++ {
-			f := fnv.New64a()
-			for r := 0; r < rows; r++ {
-				v := sig[b*rows+r]
-				var buf [8]byte
-				for k := 0; k < 8; k++ {
-					buf[k] = byte(v >> (8 * k))
-				}
-				f.Write(buf[:])
-			}
-			key := bandKey{band: b, hash: f.Sum64()}
+			key := bandKey{band: b, hash: rowsHash(sig, b, rows)}
 			buckets[key] = append(buckets[key], item)
 		}
 	}

@@ -30,7 +30,11 @@ type Options struct {
 //	POST /query         — body: one JSON profile {"id": "...", "attr":
 //	                      "value"}; ranks candidates and scores matches.
 //	                      ?source=1 marks the query as coming from the
-//	                      second clean source.
+//	                      second clean source. ?probe=off|fallback|union
+//	                      overrides the index's LSH probe policy for this
+//	                      query and ?probe_floor=N the fallback floor
+//	                      (both need an LSH-enabled index; see
+//	                      IndexConfig.LSH and sparker-serve -lsh).
 //	POST /upsert        — body: one JSON profile; inserts or replaces it.
 //	POST /bulk          — body: JSON-lines profiles; upserts every record.
 //	POST /snapshot/save — write a durable snapshot (needs a configured
@@ -51,7 +55,11 @@ func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
 		if !ok {
 			return
 		}
-		writeJSON(w, newQueryResponse(x, x.Resolve(p)))
+		opts, ok := readProbeOptions(w, r, x)
+		if !ok {
+			return
+		}
+		writeJSON(w, newQueryResponse(x, x.ResolveWith(p, opts)))
 	})
 	mux.HandleFunc("/upsert", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := readOneProfile(w, r, x)
@@ -126,13 +134,48 @@ func upsertErrorStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// readProbeOptions parses the per-query LSH probe knobs. Explicitly
+// requesting a probe on an index without LSH is a client error, not a
+// silent no-op.
+func readProbeOptions(w http.ResponseWriter, r *http.Request, x *index.Index) (index.ProbeOptions, bool) {
+	opts := index.ProbeOptions{Policy: x.ProbePolicy()}
+	if s := r.URL.Query().Get("probe"); s != "" {
+		pol, err := index.ParseProbePolicy(s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return opts, false
+		}
+		if pol != index.ProbeOff && !x.LSHEnabled() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("probe=%s needs an LSH-enabled index (start sparker-serve with -lsh)", s))
+			return opts, false
+		}
+		opts.Policy = pol
+	}
+	if s := r.URL.Query().Get("probe_floor"); s != "" {
+		floor, err := strconv.Atoi(s)
+		if err != nil || floor < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad probe_floor %q", s))
+			return opts, false
+		}
+		if !x.LSHEnabled() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("probe_floor needs an LSH-enabled index (start sparker-serve with -lsh)"))
+			return opts, false
+		}
+		opts.Floor = floor
+	}
+	return opts, true
+}
+
 // candidateJSON is one ranked blocking candidate on the wire.
 type candidateJSON struct {
-	ID         profile.ID `json:"id"`
-	OriginalID string     `json:"original_id"`
-	Source     int        `json:"source"`
-	Weight     float64    `json:"weight"`
-	SharedKeys int        `json:"shared_keys"`
+	ID            profile.ID `json:"id"`
+	OriginalID    string     `json:"original_id"`
+	Source        int        `json:"source"`
+	Weight        float64    `json:"weight"`
+	SharedKeys    int        `json:"shared_keys"`
+	SharedBuckets int        `json:"shared_buckets,omitempty"`
 }
 
 // matchJSON is one scored match on the wire.
@@ -154,6 +197,11 @@ type queryResponse struct {
 	PostingsScanned int             `json:"postings_scanned"`
 	Pruned          int             `json:"pruned"`
 	Comparisons     int             `json:"comparisons"`
+	// LSH probe accounting, present only when a probe ran.
+	LSHProbed     bool `json:"lsh_probed,omitempty"`
+	BucketsProbed int  `json:"buckets_probed,omitempty"`
+	BucketsPurged int  `json:"buckets_purged,omitempty"`
+	LSHCandidates int  `json:"lsh_candidates,omitempty"`
 }
 
 func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
@@ -167,9 +215,13 @@ func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
 		PostingsScanned: r.Query.PostingsScanned,
 		Pruned:          r.Query.Pruned,
 		Comparisons:     r.Comparisons,
+		LSHProbed:       r.Query.LSHProbed,
+		BucketsProbed:   r.Query.BucketsProbed,
+		BucketsPurged:   r.Query.BucketsPurged,
+		LSHCandidates:   r.Query.LSHCandidates,
 	}
 	for _, c := range r.Query.Candidates {
-		cj := candidateJSON{ID: c.ID, Weight: c.Weight, SharedKeys: c.SharedKeys}
+		cj := candidateJSON{ID: c.ID, Weight: c.Weight, SharedKeys: c.SharedKeys, SharedBuckets: c.SharedBuckets}
 		if orig, src, ok := x.Meta(c.ID); ok {
 			cj.OriginalID = orig
 			cj.Source = src

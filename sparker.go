@@ -232,7 +232,41 @@ type (
 	IndexSnapshot = index.Snapshot
 	// IndexPersistState describes an index's durable-snapshot state.
 	IndexPersistState = index.PersistState
+	// IndexLSHConfig configures the MinHash/LSH probe subsystem: a
+	// second candidate-generation path beside the token postings for
+	// queries whose tokens are all too common (purged) or too rare.
+	IndexLSHConfig = index.LSHConfig
+	// IndexProbeOptions overrides the probe policy for one query
+	// (Index.QueryWith / Index.ResolveWith).
+	IndexProbeOptions = index.ProbeOptions
+	// IndexLSHStats summarises the probe subsystem in IndexSnapshot.
+	IndexLSHStats = index.LSHStats
 )
+
+// LSH probe policies (IndexLSHConfig.Policy, IndexProbeOptions.Policy).
+const (
+	// ProbeOff disables the LSH probe: token postings only (default).
+	ProbeOff = index.ProbeOff
+	// ProbeFallback probes LSH only when token blocking produced fewer
+	// than IndexLSHConfig.FallbackFloor candidates.
+	ProbeFallback = index.ProbeFallback
+	// ProbeUnion always probes LSH and unions both candidate sets.
+	ProbeUnion = index.ProbeUnion
+)
+
+// LSH probe-only candidate weighting (IndexLSHConfig.Weight).
+const (
+	// LSHWeightJaccard weights probe-only candidates by the estimated
+	// Jaccard similarity of the MinHash signatures (default).
+	LSHWeightJaccard = index.LSHWeightJaccard
+	// LSHWeightBuckets weights probe-only candidates by shared-bucket
+	// count.
+	LSHWeightBuckets = index.LSHWeightBuckets
+)
+
+// ParseProbePolicy parses "off", "fallback" or "union" — the flag/wire
+// form of a probe policy.
+func ParseProbePolicy(s string) (index.ProbePolicy, error) { return index.ParseProbePolicy(s) }
 
 // Durable index snapshots.
 var (
@@ -253,7 +287,9 @@ func SaveIndex(x *Index, path string) (IndexPersistState, error) { return x.Save
 // LoadIndex restores a fully queryable index from a snapshot file
 // without re-tokenizing or re-indexing. The cfg must carry the same
 // tokenizer/clustering/entropy/measure the snapshot was saved under
-// (code is not serialized); the shard count comes from the file. A
+// (code is not serialized); the shard count comes from the file, and so
+// do the MinHash parameters when cfg enables LSH and the file carries
+// signatures (v2+ snapshots). A
 // missing file surfaces as fs.ErrNotExist and an incompatible format as
 // ErrIndexSnapshotVersion, both via errors.Is. Use Index.SetReadOnly to
 // serve the restored index as a write-rejecting replica.
