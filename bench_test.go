@@ -26,6 +26,7 @@ import (
 	"sparker/internal/looseschema"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
+	"sparker/internal/obs"
 	"sparker/internal/profile"
 	"sparker/internal/tokenize"
 )
@@ -418,6 +419,50 @@ func BenchmarkIndexQuery(b *testing.B) {
 			b.ReportMetric(float64(comparisons.Load())/float64(b.N), "comparisons/op")
 			b.ReportMetric(float64(postings.Load())/float64(b.N), "postings/op")
 		})
+	}
+}
+
+// BenchmarkIndexQueryBare is BenchmarkIndexQuery at 16 shards with the
+// metrics layer disabled (Config.DisableMetrics). The delta against
+// BenchmarkIndexQuery/shards-16 is the full cost of per-stage
+// instrumentation — it should be nanoseconds of monotonic reads and
+// atomic adds per query, and exactly zero extra allocs/op.
+func BenchmarkIndexQueryBare(b *testing.B) {
+	c := indexBenchCollection(b)
+	cfg := index.DefaultConfig()
+	cfg.Shards = 16
+	cfg.DisableMetrics = true
+	idx, err := index.NewFromCollection(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % c.Size()
+			idx.Resolve(c.Get(profile.ID(i)))
+		}
+	})
+}
+
+// BenchmarkObsHistogram times the hot-path cost of one histogram
+// observation under full contention — every goroutine hammering the
+// same histogram, the worst case for the atomic bucket counters. The
+// bar is single-digit nanoseconds and zero allocs.
+func BenchmarkObsHistogram(b *testing.B) {
+	var h obs.Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v * 2654435761) % (1 << 30) // cycle across buckets
+		}
+	})
+	if h.Snapshot().Count == 0 {
+		b.Fatal("no observations recorded")
 	}
 }
 

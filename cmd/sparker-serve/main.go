@@ -39,6 +39,17 @@
 //
 //	sparker-serve -generate -snapshot /var/lib/sparker/idx.snap
 //	# ... kill it, restart with the same flags: no re-indexing.
+//
+// Observability: GET /metrics serves the Prometheus text exposition
+// (disable with -metrics=false), /query?debug=1 returns a per-stage
+// timing breakdown inline, -slow-query logs any query slower than the
+// given duration with its full stage breakdown, and -pprof starts
+// net/http/pprof on a separate address so profiling traffic never
+// shares the serving listener:
+//
+//	sparker-serve -generate -slow-query 50ms -pprof localhost:6060
+//
+// All logging is structured (log/slog, text format on stderr).
 package main
 
 import (
@@ -47,8 +58,9 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -83,6 +95,10 @@ func run() error {
 		snapshotInterval = flag.Duration("snapshot-interval", 0, "also save the snapshot periodically (0 disables)")
 		readOnly         = flag.Bool("read-only", false, "replica mode: reject upserts (HTTP 403)")
 
+		metrics   = flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+		pprofAddr = flag.String("pprof", "", "also serve net/http/pprof on this address (empty disables)")
+		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
+
 		shards    = flag.Int("shards", 16, "index shard count (a restored snapshot keeps its saved count)")
 		scheme    = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
 		prune     = flag.String("prune", "top-k", "candidate pruning rule (mean, top-k, none)")
@@ -97,6 +113,8 @@ func run() error {
 		lshWeight    = flag.String("lsh-weight", "est-jaccard", "probe-only candidate weighting (est-jaccard, buckets)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	// Validate at the flag layer: Config treats zero as "unset", so an
 	// explicit 0 here would be silently replaced by a default.
@@ -184,10 +202,13 @@ func run() error {
 		case err == nil:
 			idx = x
 			st, _ := x.PersistState()
-			log.Printf("restored %d profiles from snapshot %s (%d bytes, saved %s)",
-				x.Size(), *snapshot, st.Bytes, st.SavedAt.Format(time.RFC3339))
+			logger.Info("restored snapshot",
+				"path", *snapshot,
+				"profiles", x.Size(),
+				"bytes", st.Bytes,
+				"saved_at", st.SavedAt.Format(time.RFC3339))
 		case errors.Is(err, fs.ErrNotExist), errors.Is(err, index.ErrSnapshotVersion):
-			log.Printf("snapshot unavailable, building fresh index: %v", err)
+			logger.Warn("snapshot unavailable, building fresh index", "path", *snapshot, "err", err)
 		default:
 			return err
 		}
@@ -201,12 +222,15 @@ func run() error {
 			return err
 		}
 		snap := idx.Snapshot()
-		log.Printf("indexed %d profiles into %d blocks across %d shards (max block %d)",
-			snap.Profiles, snap.Blocks, snap.Shards, snap.MaxBlockSize)
+		logger.Info("indexed collection",
+			"profiles", snap.Profiles,
+			"blocks", snap.Blocks,
+			"shards", snap.Shards,
+			"max_block_size", snap.MaxBlockSize)
 	}
 	if *readOnly {
 		idx.SetReadOnly(true)
-		log.Printf("read-only replica mode: upserts rejected")
+		logger.Info("read-only replica mode: upserts rejected")
 	}
 
 	// A read-only replica consumes the snapshot file, never produces it:
@@ -219,11 +243,14 @@ func run() error {
 		start := time.Now()
 		st, err := idx.Save(*snapshot)
 		if err != nil {
-			log.Printf("snapshot save (%s) failed: %v", reason, err)
+			logger.Error("snapshot save failed", "reason", reason, "path", *snapshot, "err", err)
 			return
 		}
-		log.Printf("saved snapshot %s (%d bytes) in %s (%s)", st.Path, st.Bytes,
-			time.Since(start).Round(time.Millisecond), reason)
+		logger.Info("saved snapshot",
+			"path", st.Path,
+			"bytes", st.Bytes,
+			"elapsed", time.Since(start).Round(time.Millisecond),
+			"reason", reason)
 	}
 	if *snapshotInterval > 0 && *snapshot != "" && !*readOnly {
 		ticker := time.NewTicker(*snapshotInterval)
@@ -235,12 +262,35 @@ func run() error {
 		}()
 	}
 
+	// The pprof handlers live on their own mux and address so profiling
+	// traffic (and its unauthenticated endpoints) never shares the
+	// serving listener.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	// The handler itself refuses /snapshot/save on a read-only index
 	// (403), so the path can be passed through unconditionally.
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandlerOptions(idx, serve.Options{SnapshotPath: *snapshot})}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandlerOptions(idx, serve.Options{
+		SnapshotPath: *snapshot,
+		Logger:       logger,
+		SlowQuery:    *slowQuery,
+		NoMetrics:    !*metrics,
+	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -248,11 +298,11 @@ func run() error {
 	case err := <-errCh:
 		return err
 	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 		save("shutdown")
 		return nil

@@ -114,7 +114,33 @@ func main() {
 	fmt.Printf("stats: %d profiles, %d blocks across %d shards, %d queries, %d upserts\n",
 		snap.Profiles, snap.Blocks, snap.Shards, snap.Queries, snap.Upserts)
 
-	// 4. Kill and restart: snapshot the index, "crash" the process
+	// 4. Observability: the same traffic left per-stage latency
+	// histograms behind. ?debug=1 returns one query's breakdown inline,
+	// and /metrics serves the Prometheus text exposition a scraper would
+	// collect — count how many sparker_* families this little session
+	// already produced.
+	dbg := post("/query?debug=1", `{"id": "probe", "name": "Acme TurboBlend 5000 blender"}`)
+	if d, ok := dbg["debug"].(map[string]any); ok {
+		stages := d["stages"].([]any)
+		first := stages[0].(map[string]any)
+		fmt.Printf("debug breakdown: %d stages, total %v ns (first: %v=%v ns)\n",
+			len(stages), d["total_nanos"], first["stage"], first["nanos"])
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	expo, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	families := map[string]bool{}
+	for _, line := range bytes.Split(expo, []byte("\n")) {
+		if f, ok := bytes.CutPrefix(line, []byte("# TYPE ")); ok {
+			families[string(bytes.Fields(f)[0])] = true
+		}
+	}
+	fmt.Printf("prometheus scrape: %d metric families exposed on /metrics\n", len(families))
+
+	// 5. Kill and restart: snapshot the index, "crash" the process
 	// (drop the server and the in-memory index), then warm-restart from
 	// the file. This is what `sparker-serve -snapshot idx.snap` does at
 	// boot and on SIGTERM — restores without re-tokenizing anything.

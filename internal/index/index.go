@@ -29,6 +29,7 @@ import (
 	"sparker/internal/blocking"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
+	"sparker/internal/obs"
 	"sparker/internal/profile"
 	"sparker/internal/tokenize"
 )
@@ -102,6 +103,12 @@ type Config struct {
 	// candidate-generation modality beside the token postings (see
 	// lsh.go). The zero value disables it.
 	LSH LSHConfig
+	// DisableMetrics turns off the per-stage timing and histogram
+	// recording of the query/upsert hot paths (metrics.go): Metrics()
+	// returns nil, Snapshot carries no timings, and the ?debug=1 stage
+	// breakdown reads zeros. Servers leave it off; the bare benchmark
+	// variant uses it to price the instrumentation.
+	DisableMetrics bool
 
 	// defaultJaccard records that Measure was nil and withDefaults
 	// installed the whole-profile Jaccard, enabling the cached-bag scorer.
@@ -234,6 +241,11 @@ type Index struct {
 	idBound     atomic.Int64
 	scratchPool sync.Pool
 
+	// metrics is the per-stage/operation histogram core (nil when
+	// cfg.DisableMetrics): hot paths record into it with atomic adds
+	// only, never allocating or locking.
+	metrics *Metrics
+
 	// readOnly marks a replica: Upsert returns ErrReadOnly (persist.go).
 	readOnly atomic.Bool
 	// restored marks an index built by Load/Decode rather than from a
@@ -258,6 +270,9 @@ func New(clean bool, cfg Config) *Index {
 		shards: make([]*shard, cfg.Shards),
 		byID:   make(map[profile.ID]*storedProfile),
 		byOrig: make(map[string]profile.ID),
+	}
+	if !cfg.DisableMetrics {
+		x.metrics = &Metrics{}
 	}
 	x.lsh = newLSHState(cfg.LSH)
 	for i := range x.shards {
@@ -323,6 +338,11 @@ func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
 	if x.readOnly.Load() {
 		return 0, false, ErrReadOnly
 	}
+	m := x.metrics
+	var start int64
+	if m != nil {
+		start = obs.Now()
+	}
 	if x.clean && p.SourceID != 0 && p.SourceID != 1 {
 		return 0, false, fmt.Errorf("index: clean-clean upsert needs SourceID 0 or 1, got %d", p.SourceID)
 	}
@@ -343,6 +363,9 @@ func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
 	}
 	x.putLocked(p)
 	x.upserts.Add(1)
+	if m != nil {
+		m.Upsert.Observe(obs.Now() - start)
+	}
 	return p.ID, created, nil
 }
 

@@ -318,4 +318,10 @@ type LSHStats struct {
 	// ProbeOnlyCandidates counts candidates surfaced by the probe alone,
 	// i.e. sharing no blocking key with their query.
 	ProbeOnlyCandidates int64 `json:"probe_only_candidates"`
+	// FallbackRate is the fraction of all queries that triggered a
+	// probe: near zero under ProbeFallback when token blocking serves
+	// almost everything (the healthy state), 1.0 under ProbeUnion. A
+	// climbing rate under fallback means queries increasingly miss the
+	// token postings — the drift signal /metrics exports.
+	FallbackRate float64 `json:"fallback_rate"`
 }

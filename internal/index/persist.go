@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"sparker/internal/blocking"
+	"sparker/internal/obs"
 	"sparker/internal/profile"
 )
 
@@ -132,6 +133,10 @@ func (x *Index) Save(path string) (PersistState, error) {
 	if x.readOnly.Load() {
 		return PersistState{}, fmt.Errorf("index: save: %w", ErrReadOnly)
 	}
+	var saveStart int64
+	if x.metrics != nil {
+		saveStart = obs.Now()
+	}
 	x.saveMu.Lock()
 	defer x.saveMu.Unlock()
 
@@ -176,6 +181,10 @@ func (x *Index) Save(path string) (PersistState, error) {
 	x.persistMu.Lock()
 	x.persist = st
 	x.persistMu.Unlock()
+	if m := x.metrics; m != nil {
+		m.Save.Observe(obs.Now() - saveStart)
+		m.SnapshotBytes.Store(n)
+	}
 	return st, nil
 }
 
@@ -194,6 +203,7 @@ func (x *Index) Encode(w io.Writer) (int64, error) {
 // missing file surfaces as fs.ErrNotExist and an incompatible format as
 // ErrSnapshotVersion, both via errors.Is.
 func Load(path string, cfg Config) (*Index, error) {
+	start := obs.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
@@ -206,6 +216,10 @@ func Load(path string, cfg Config) (*Index, error) {
 	x.persistMu.Lock()
 	x.persist.Path = path
 	x.persistMu.Unlock()
+	if m := x.metrics; m != nil {
+		m.Load.Observe(obs.Now() - start)
+		m.SnapshotBytes.Store(x.persist.Bytes)
+	}
 	return x, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"sparker/internal/lsh"
 	"sparker/internal/matching"
 	"sparker/internal/metablocking"
+	"sparker/internal/obs"
 	"sparker/internal/profile"
 )
 
@@ -54,6 +55,14 @@ type QueryResult struct {
 	PostingsScanned int
 	// Pruned counts candidates dropped by the pruning rule.
 	Pruned int
+
+	// StageNanos is the per-stage wall-time breakdown of this query
+	// (indexed by Stage; StageScore is filled by Resolve). The slots are
+	// contiguous — they sum to the query's total latency — and feed both
+	// the index-level stage histograms and the serving layer's ?debug=1
+	// response and slow-query log. All zeros when Config.DisableMetrics
+	// turned instrumentation off.
+	StageNanos [NumStages]int64
 
 	// LSHProbed reports whether the LSH probe ran for this query (under
 	// ProbeFallback, only when token candidates fell below the floor).
@@ -127,6 +136,16 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 // ProbeOff.
 func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 	x.queries.Add(1)
+	// The stage clock slices the query into contiguous per-stage
+	// durations: a stack value ticking into the result's fixed array,
+	// so instrumentation adds monotonic reads and atomic adds but no
+	// allocations to the hot path.
+	m := x.metrics
+	res := &QueryResult{}
+	var clk obs.StageClock
+	if m != nil {
+		clk.Start()
+	}
 	// Dirty indexes store everything under source 0 (Upsert normalizes);
 	// queries must match, or self-exclusion and loose-schema keys break.
 	if !x.clean && p.SourceID != 0 {
@@ -143,7 +162,8 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 		*kb = keys[:0]
 		keyBufPool.Put(kb)
 	}()
-	res := &QueryResult{Keys: len(keys)}
+	res.Keys = len(keys)
+	clk.Tick(res.StageNanos[:], int(StageTokenize))
 
 	selfID := profile.ID(-1)
 	if id, ok := x.lookupOrig(origKey(p)); ok {
@@ -203,6 +223,7 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 		res.BlocksFiltered = len(probes) - keep
 		probes = probes[:keep]
 	}
+	clk.Tick(res.StageNanos[:], int(StagePurgeFilter))
 
 	// Pass 2 — scan the surviving postings, accumulating co-occurrence
 	// statistics per candidate in the pooled flat scratch: queries are the
@@ -250,6 +271,7 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 		}
 		s.mu.RUnlock()
 	}
+	clk.Tick(res.StageNanos[:], int(StageCandidates))
 
 	// Pass 3 — the LSH probe, when the policy asks for it: walk the
 	// bucket postings the query's signature hits, marking co-occurrence
@@ -272,11 +294,28 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 			}
 			defer x.lsh.putScratch(ls)
 		}
+		clk.Tick(res.StageNanos[:], int(StageLSHProbe))
 	}
 
 	res.selfID = selfID
 	x.weigh(res, liveKeys, sc, qsig)
+	clk.Tick(res.StageNanos[:], int(StageWeigh))
 	res.Pruned = x.prune(res)
+	clk.Tick(res.StageNanos[:], int(StagePrune))
+	if m != nil {
+		var total int64
+		for s := StageTokenize; s <= StagePrune; s++ {
+			// The probe stage stays clean: only queries that actually
+			// probed observe into its histogram.
+			if s == StageLSHProbe && !res.LSHProbed {
+				continue
+			}
+			m.Stages[s].Observe(res.StageNanos[s])
+			total += res.StageNanos[s]
+		}
+		m.Query.Observe(total)
+		m.Candidates.Observe(int64(len(res.Candidates)))
+	}
 	return res
 }
 
@@ -478,6 +517,11 @@ func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
 	qr := x.QueryWith(p, opts)
 	r := &Resolution{Query: qr}
 	queryID := qr.selfID
+	m := x.metrics
+	var clk obs.StageClock
+	if m != nil {
+		clk.Start()
+	}
 
 	// Collect candidate profile snapshots under the read lock, score after
 	// releasing it: upserts replace stored profiles instead of mutating
@@ -527,6 +571,16 @@ func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
 		}
 		return r.Matches[i].B < r.Matches[j].B
 	})
+	clk.Tick(qr.StageNanos[:], int(StageScore))
+	if m != nil {
+		m.Stages[StageScore].Observe(qr.StageNanos[StageScore])
+		m.Comparisons.Observe(int64(r.Comparisons))
+		var total int64
+		for _, n := range qr.StageNanos {
+			total += n
+		}
+		m.Resolve.Observe(total)
+	}
 	return r
 }
 

@@ -28,6 +28,13 @@ type Snapshot struct {
 	// LSH describes the probe subsystem (bucket count, probe counters),
 	// or nil when LSH is disabled.
 	LSH *LSHStats `json:"lsh,omitempty"`
+	// Timings summarises the per-stage and per-operation latency
+	// histograms (metrics.go): one row per query stage, then the
+	// operation totals. Nil when Config.DisableMetrics turned
+	// instrumentation off. The full histograms are exposed in Prometheus
+	// form by the serving layer's /metrics endpoint; these rows are the
+	// JSON digest of the same data.
+	Timings []TimingStats `json:"timings,omitempty"`
 }
 
 // Snapshot summarises the index. It takes the writer lock, so the totals
@@ -56,6 +63,12 @@ func (x *Index) Snapshot() Snapshot {
 			Probes:              x.lshProbes.Load(),
 			ProbeOnlyCandidates: x.lshOnly.Load(),
 		}
+		if s.Queries > 0 {
+			s.LSH.FallbackRate = float64(s.LSH.Probes) / float64(s.Queries)
+		}
+	}
+	if x.metrics != nil {
+		s.Timings = x.metrics.timingRows()
 	}
 	for _, sh := range x.shards {
 		sh.mu.RLock()

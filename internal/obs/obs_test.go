@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket layout: zeros in bucket 0, each
+// power-of-two range in its own bucket, the overflow clamp at the top.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 42, NumBuckets - 1}, {math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket upper bounds bracket their contents.
+	for _, v := range []int64{1, 3, 100, 12345, 1 << 30} {
+		b := bucketOf(v)
+		if up := BucketUpper(b); float64(v) > up {
+			t.Errorf("value %d above its bucket %d upper bound %g", v, b, up)
+		}
+		if b > 1 {
+			if lo := BucketUpper(b - 1); float64(v) <= lo {
+				t.Errorf("value %d at or below previous bucket bound %g", v, lo)
+			}
+		}
+	}
+	if !math.IsInf(BucketUpper(NumBuckets-1), 1) {
+		t.Errorf("overflow bucket bound = %g, want +Inf", BucketUpper(NumBuckets-1))
+	}
+}
+
+// TestHistogramConcurrent is the -race battery: concurrent writers on
+// one histogram, then the final-sum invariant — count equals writers ×
+// observations, the bucket totals equal the count, and the sum equals
+// the arithmetic total of everything observed.
+func TestHistogramConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 10_000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	const n = writers * perWriter
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != n {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, n)
+	}
+	if want := int64(n) * (n - 1) / 2; s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+}
+
+// TestCounterGaugeConcurrent hammers counters and gauges from many
+// goroutines and checks the final values.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 10_000
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Load(); got != 2*writers*perWriter {
+		t.Fatalf("gauge = %d, want %d", got, 2*writers*perWriter)
+	}
+	g.Store(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after store = %d, want 7", got)
+	}
+}
+
+// TestQuantile checks the estimate against known distributions: always
+// an upper bound, never more than one bucket (2x) above the true value.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, c := range []struct {
+		q    float64
+		true float64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}} {
+		got := s.Quantile(c.q)
+		if got < c.true {
+			t.Errorf("q%.2f = %g below true value %g", c.q, got, c.true)
+		}
+		if got > 2*c.true {
+			t.Errorf("q%.2f = %g beyond the 2x log2 resolution of %g", c.q, got, c.true)
+		}
+	}
+	var empty Histogram
+	es := empty.Snapshot()
+	if got := es.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	// Overflow-bucket quantiles fall back to the mean rather than +Inf.
+	var over Histogram
+	over.Observe(1 << 50)
+	os := over.Snapshot()
+	if got := os.Quantile(0.5); math.IsInf(got, 1) || got <= 0 {
+		t.Errorf("overflow quantile = %g, want finite positive", got)
+	}
+}
+
+// TestStageClock checks stage slicing: ticks are contiguous, charge the
+// right slots, and a never-started clock records nothing.
+func TestStageClock(t *testing.T) {
+	var nanos [3]int64
+	var clk StageClock
+	clk.Tick(nanos[:], 0) // not started: no-op
+	if nanos[0] != 0 {
+		t.Fatalf("unstarted clock recorded %d", nanos[0])
+	}
+	clk.Start()
+	time.Sleep(time.Millisecond)
+	clk.Tick(nanos[:], 0)
+	time.Sleep(time.Millisecond)
+	clk.Tick(nanos[:], 2)
+	if nanos[0] < int64(time.Millisecond/2) {
+		t.Errorf("stage 0 = %dns, want >= ~1ms", nanos[0])
+	}
+	if nanos[2] < int64(time.Millisecond/2) {
+		t.Errorf("stage 2 = %dns, want >= ~1ms", nanos[2])
+	}
+	if nanos[1] != 0 {
+		t.Errorf("stage 1 = %dns, want 0", nanos[1])
+	}
+}
+
+// TestNowMonotonic pins the monotonic guarantee Tick depends on.
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %d then %d", a, b)
+	}
+}

@@ -1,0 +1,56 @@
+// Package obstest validates Prometheus text expositions in tests: the
+// obs.Expo unit tests and the serve-level /metrics scrape test share
+// one line-grammar checker.
+package obstest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	helpTypeRe = regexp.MustCompile(`^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))$`)
+	sampleRe   = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+)
+
+// ValidateExposition checks every line of a Prometheus text exposition
+// against the 0.0.4 grammar: headers are well-formed HELP/TYPE lines,
+// samples are `name{labels} value`, and every sample's family carries a
+// TYPE declaration before its first sample.
+func ValidateExposition(t *testing.T, body string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty exposition")
+	}
+	typed := map[string]bool{}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !helpTypeRe.MatchString(line) {
+				t.Errorf("bad header line: %q", line)
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				typed[strings.Fields(line)[2]] = true
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("bad sample line: %q", line)
+			continue
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				family = base
+				break
+			}
+		}
+		if !typed[family] {
+			t.Errorf("sample %q has no preceding TYPE for family %q", line, family)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// Expo writes the Prometheus text exposition format (version 0.0.4):
+// `# HELP` / `# TYPE` headers once per metric family, then one sample
+// line per value. Families must be emitted contiguously — interleaving
+// two families re-emits headers, which scrapers reject — so callers
+// group all label variants of one name together, which the serving
+// layer's fixed route list does naturally. Expo is a scrape-path
+// convenience, not a hot-path primitive: it buffers and allocates
+// freely.
+type Expo struct {
+	w    *bufio.Writer
+	last string // family whose HELP/TYPE headers were last written
+	err  error
+}
+
+// NewExpo wraps w for exposition writing; call Flush when done.
+func NewExpo(w io.Writer) *Expo {
+	return &Expo{w: bufio.NewWriter(w)}
+}
+
+// Flush drains the buffer and returns the first write error.
+func (e *Expo) Flush() error {
+	if e.err == nil {
+		e.err = e.w.Flush()
+	}
+	return e.err
+}
+
+// Counter emits one counter sample (headers once per family).
+func (e *Expo) Counter(name, help string, v float64, labels ...Label) {
+	e.header(name, help, "counter")
+	e.sample(name, "", labels, "", v)
+}
+
+// Gauge emits one gauge sample (headers once per family).
+func (e *Expo) Gauge(name, help string, v float64, labels ...Label) {
+	e.header(name, help, "gauge")
+	e.sample(name, "", labels, "", v)
+}
+
+// Histogram emits one histogram series: cumulative `_bucket` lines up to
+// the last non-empty bucket plus `+Inf`, then `_sum` and `_count`.
+// scale converts observed values into the exposition unit (1e-9 turns
+// nanoseconds into the conventional seconds; 1 leaves plain counts).
+func (e *Expo) Histogram(name, help string, s HistogramSnapshot, scale float64, labels ...Label) {
+	e.header(name, help, "histogram")
+	top := 0
+	for i, b := range s.Buckets {
+		if b > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top && i < NumBuckets-1; i++ {
+		cum += s.Buckets[i]
+		e.sample(name+"_bucket", "le", labels, formatFloat(BucketUpper(i)*scale), float64(cum))
+	}
+	e.sample(name+"_bucket", "le", labels, "+Inf", float64(s.Count))
+	e.sample(name+"_sum", "", labels, "", float64(s.Sum)*scale)
+	e.sample(name+"_count", "", labels, "", float64(s.Count))
+}
+
+// header writes the HELP and TYPE lines, once per contiguous family.
+func (e *Expo) header(name, help, typ string) {
+	if e.err != nil || name == e.last {
+		return
+	}
+	e.last = name
+	e.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	e.writeString("# TYPE " + name + " " + typ + "\n")
+}
+
+// sample writes one `name{labels} value` line, appending the extra
+// label (Histogram's `le`) after the caller's labels when set.
+func (e *Expo) sample(name, extraName string, labels []Label, extraValue string, v float64) {
+	if e.err != nil {
+		return
+	}
+	e.writeString(name)
+	if len(labels) > 0 || extraName != "" {
+		e.writeString("{")
+		for i, l := range labels {
+			if i > 0 {
+				e.writeString(",")
+			}
+			e.writeString(l.Name + "=\"" + escapeLabel(l.Value) + "\"")
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				e.writeString(",")
+			}
+			e.writeString(extraName + "=\"" + extraValue + "\"")
+		}
+		e.writeString("}")
+	}
+	e.writeString(" " + formatFloat(v) + "\n")
+}
+
+func (e *Expo) writeString(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// formatFloat renders a sample value: integral floats as integers (the
+// common case for counts), the rest in compact scientific/decimal form,
+// infinities as the +Inf/-Inf tokens the format defines.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return replaceAll(s, func(r byte) string {
+		switch r {
+		case '\\':
+			return `\\`
+		case '"':
+			return `\"`
+		case '\n':
+			return `\n`
+		}
+		return ""
+	})
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	return replaceAll(s, func(r byte) string {
+		switch r {
+		case '\\':
+			return `\\`
+		case '\n':
+			return `\n`
+		}
+		return ""
+	})
+}
+
+// replaceAll applies a byte-level escaper, returning s unchanged (no
+// copy) when nothing needs escaping.
+func replaceAll(s string, esc func(byte) string) string {
+	for i := 0; i < len(s); i++ {
+		if esc(s[i]) != "" {
+			out := make([]byte, 0, len(s)+4)
+			out = append(out, s[:i]...)
+			for ; i < len(s); i++ {
+				if e := esc(s[i]); e != "" {
+					out = append(out, e...)
+				} else {
+					out = append(out, s[i])
+				}
+			}
+			return string(out)
+		}
+	}
+	return s
+}

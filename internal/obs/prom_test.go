@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"sparker/internal/obs/obstest"
+)
+
+// TestExpoCounterGauge pins header emission (once per contiguous
+// family) and label rendering.
+func TestExpoCounterGauge(t *testing.T) {
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Counter("app_requests_total", "Requests served.", 3, Label{"route", "/query"})
+	e.Counter("app_requests_total", "Requests served.", 4, Label{"route", "/stats"})
+	e.Gauge("app_profiles", "Indexed profiles.", 42)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	obstest.ValidateExposition(t, out)
+	if c := strings.Count(out, "# TYPE app_requests_total counter"); c != 1 {
+		t.Errorf("TYPE header written %d times, want 1\n%s", c, out)
+	}
+	for _, want := range []string{
+		`app_requests_total{route="/query"} 3`,
+		`app_requests_total{route="/stats"} 4`,
+		"app_profiles 42",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpoHistogram checks the cumulative bucket series: increasing le
+// bounds, cumulative counts ending at the +Inf line, sum and count
+// trailers, and unit scaling.
+func TestExpoHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 1000, 2_000_000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Histogram("app_latency_seconds", "Latency.", h.Snapshot(), 1e-9, Label{"stage", "score"})
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	obstest.ValidateExposition(t, out)
+
+	var lastCum, infCount, count float64 = -1, -1, -1
+	var sum float64
+	prevLe := -1.0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		switch {
+		case strings.HasPrefix(line, "app_latency_seconds_bucket"):
+			val, _ := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = val
+				continue
+			}
+			leStr := line[strings.Index(line, `le="`)+4:]
+			leStr = leStr[:strings.Index(leStr, `"`)]
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le in %q: %v", line, err)
+			}
+			if le <= prevLe {
+				t.Errorf("le bounds not increasing: %g after %g", le, prevLe)
+			}
+			prevLe = le
+			if val < lastCum {
+				t.Errorf("bucket counts not cumulative: %g after %g", val, lastCum)
+			}
+			lastCum = val
+		case strings.HasPrefix(line, "app_latency_seconds_sum"):
+			sum, _ = strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		case strings.HasPrefix(line, "app_latency_seconds_count"):
+			count, _ = strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		}
+	}
+	if infCount != 5 || count != 5 {
+		t.Errorf("+Inf bucket %g / count %g, want 5 / 5", infCount, count)
+	}
+	if lastCum > infCount {
+		t.Errorf("last finite bucket %g exceeds +Inf %g", lastCum, infCount)
+	}
+	wantSum := float64(1+2+3+1000+2_000_000) * 1e-9
+	if diff := sum - wantSum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+// TestEscaping pins label and help escaping.
+func TestEscaping(t *testing.T) {
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Gauge("g", "line one\nline \\two", 1, Label{"p", `a"b\c` + "\nd"})
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	obstest.ValidateExposition(t, out)
+	if !strings.Contains(out, `p="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", out)
+	}
+	if !strings.Contains(out, `# HELP g line one\nline \\two`) {
+		t.Errorf("help not escaped: %s", out)
+	}
+}

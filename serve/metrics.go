@@ -1,0 +1,163 @@
+package serve
+
+// Route instrumentation and the Prometheus /metrics endpoint. Every
+// handler is wrapped by handle(): request, 4xx and 5xx counters plus a
+// latency histogram per route, recorded with the allocation-free
+// internal/obs primitives. /metrics renders those counters together
+// with the index's per-stage query histograms in the text exposition
+// format, so one scrape answers both "is the HTTP surface healthy" and
+// "where do queries spend their time".
+
+import (
+	"fmt"
+	"net/http"
+
+	"sparker/internal/index"
+	"sparker/internal/obs"
+)
+
+// routeMetrics is the instrumentation of one route.
+type routeMetrics struct {
+	route     string
+	requests  obs.Counter
+	errors4xx obs.Counter
+	errors5xx obs.Counter
+	latency   obs.Histogram // nanos
+}
+
+// statusWriter captures the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handle registers an instrumented route on the mux.
+func (h *handler) handle(mux *http.ServeMux, route string, fn http.HandlerFunc) {
+	rm := &routeMetrics{route: route}
+	h.routes = append(h.routes, rm)
+	mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		start := obs.Now()
+		sw := statusWriter{ResponseWriter: w}
+		fn(&sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		rm.requests.Inc()
+		switch {
+		case code >= 500:
+			rm.errors5xx.Inc()
+		case code >= 400:
+			rm.errors4xx.Inc()
+		}
+		rm.latency.Observe(obs.Now() - start)
+	})
+}
+
+// routeStatsJSON is one route's counters on the /stats surface — the
+// JSON digest of what /metrics exposes as Prometheus families.
+type routeStatsJSON struct {
+	Route     string  `json:"route"`
+	Requests  int64   `json:"requests"`
+	Errors4xx int64   `json:"errors_4xx"`
+	Errors5xx int64   `json:"errors_5xx"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+func (h *handler) routeStats() []routeStatsJSON {
+	out := make([]routeStatsJSON, 0, len(h.routes))
+	for _, rm := range h.routes {
+		s := rm.latency.Snapshot()
+		out = append(out, routeStatsJSON{
+			Route:     rm.route,
+			Requests:  rm.requests.Load(),
+			Errors4xx: rm.errors4xx.Load(),
+			Errors5xx: rm.errors5xx.Load(),
+			P50Ms:     s.Quantile(0.5) / 1e6,
+			P99Ms:     s.Quantile(0.99) / 1e6,
+		})
+	}
+	return out
+}
+
+// metrics serves GET /metrics: the Prometheus text exposition of the
+// index and HTTP telemetry.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e := obs.NewExpo(w)
+
+	snap := h.x.Snapshot()
+	e.Gauge("sparker_index_profiles", "Indexed profiles.", float64(snap.Profiles))
+	e.Gauge("sparker_index_blocks", "Live postings (distinct blocking keys).", float64(snap.Blocks))
+	e.Gauge("sparker_index_assignments", "Profile-to-posting placements.", float64(snap.Assignments))
+	e.Gauge("sparker_index_max_block_size", "Largest posting.", float64(snap.MaxBlockSize))
+	e.Gauge("sparker_index_read_only", "1 when the index is a read-only replica.", boolGauge(snap.ReadOnly))
+	e.Counter("sparker_index_queries_total", "Queries served since construction.", float64(snap.Queries))
+	e.Counter("sparker_index_upserts_total", "Upserts applied since construction.", float64(snap.Upserts))
+
+	if snap.LSH != nil {
+		e.Gauge("sparker_lsh_buckets", "Live LSH bucket postings.", float64(snap.LSH.Buckets))
+		e.Counter("sparker_lsh_probes_total", "Queries that ran an LSH probe.", float64(snap.LSH.Probes))
+		e.Counter("sparker_lsh_probe_only_candidates_total", "Candidates surfaced by the probe alone.", float64(snap.LSH.ProbeOnlyCandidates))
+		e.Gauge("sparker_lsh_fallback_rate", "Fraction of queries that triggered a probe.", snap.LSH.FallbackRate)
+	}
+
+	if m := h.x.Metrics(); m != nil {
+		for s := 0; s < index.NumStages; s++ {
+			e.Histogram("sparker_query_stage_seconds", "Per-stage query latency.",
+				m.Stages[s].Snapshot(), 1e-9, obs.Label{Name: "stage", Value: index.Stage(s).String()})
+		}
+		e.Histogram("sparker_query_seconds", "Candidate-generation latency (all stages before scoring).", m.Query.Snapshot(), 1e-9)
+		e.Histogram("sparker_resolve_seconds", "Full resolution latency (query plus scoring).", m.Resolve.Snapshot(), 1e-9)
+		e.Histogram("sparker_upsert_seconds", "Upsert latency.", m.Upsert.Snapshot(), 1e-9)
+		e.Histogram("sparker_query_candidates", "Ranked candidates returned per query.", m.Candidates.Snapshot(), 1)
+		e.Histogram("sparker_resolve_comparisons", "Candidates scored per resolve.", m.Comparisons.Snapshot(), 1)
+		e.Histogram("sparker_snapshot_save_seconds", "Durable snapshot save latency.", m.Save.Snapshot(), 1e-9)
+		e.Histogram("sparker_snapshot_load_seconds", "Durable snapshot restore latency.", m.Load.Snapshot(), 1e-9)
+		e.Gauge("sparker_snapshot_bytes", "Encoded size of the last snapshot.", float64(m.SnapshotBytes.Load()))
+	}
+
+	// Families must be contiguous in the exposition: emit each HTTP
+	// family across all routes before moving to the next.
+	for _, rm := range h.routes {
+		e.Counter("sparker_http_requests_total", "HTTP requests served.", float64(rm.requests.Load()),
+			obs.Label{Name: "route", Value: rm.route})
+	}
+	for _, rm := range h.routes {
+		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors4xx.Load()),
+			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "4xx"})
+		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors5xx.Load()),
+			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "5xx"})
+	}
+	for _, rm := range h.routes {
+		e.Histogram("sparker_http_request_seconds", "HTTP request latency.", rm.latency.Snapshot(), 1e-9,
+			obs.Label{Name: "route", Value: rm.route})
+	}
+	_ = e.Flush()
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -8,21 +8,34 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"sparker/internal/index"
 	"sparker/internal/loader"
+	"sparker/internal/obs"
 	"sparker/internal/profile"
 )
 
-// Options configures the optional persistence surface of the handler.
+// Options configures the optional persistence and observability
+// surfaces of the handler.
 type Options struct {
 	// SnapshotPath enables POST /snapshot/save: each call writes a
 	// durable snapshot of the index there (atomically). Empty disables
 	// the endpoint.
 	SnapshotPath string
+	// Logger receives the slow-query log (structured, slog). Nil uses
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery logs any /query resolution taking at least this long,
+	// with its per-stage timing breakdown — the first question to ask of
+	// a slow resolver is which stage ate the time. Zero disables the
+	// slow-query log.
+	SlowQuery time.Duration
+	// NoMetrics disables GET /metrics (enabled by default).
+	NoMetrics bool
 }
 
 // NewHandler serves an index over HTTP:
@@ -35,94 +48,170 @@ type Options struct {
 //	                      query and ?probe_floor=N the fallback floor
 //	                      (both need an LSH-enabled index; see
 //	                      IndexConfig.LSH and sparker-serve -lsh).
+//	                      ?debug=1 adds a per-stage timing breakdown of
+//	                      this query to the response.
 //	POST /upsert        — body: one JSON profile; inserts or replaces it.
 //	POST /bulk          — body: JSON-lines profiles; upserts every record.
 //	POST /snapshot/save — write a durable snapshot (needs a configured
 //	                      snapshot path; see NewHandlerOptions).
 //	GET  /stats         — consistent index snapshot, including read-only
-//	                      mode and durable-snapshot metadata.
+//	                      mode, durable-snapshot metadata, per-stage
+//	                      timing digests and per-route HTTP counters.
+//	GET  /metrics       — Prometheus text exposition of the same
+//	                      telemetry (per-stage latency histograms,
+//	                      request/error counters, LSH probe rates).
 //
+// Every route is instrumented: request, 4xx and 5xx counters plus a
+// latency histogram per route, surfaced by both /stats and /metrics.
 // Upserts against a read-only replica fail with 403. Profiles use the
 // loader's JSON-lines wire format; the "id" field is the original
 // identifier, every other field an attribute.
 func NewHandler(x *index.Index) http.Handler { return NewHandlerOptions(x, Options{}) }
 
-// NewHandlerOptions is NewHandler with the persistence surface enabled.
+// NewHandlerOptions is NewHandler with the persistence and
+// observability surfaces configured.
 func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
+	h := &handler{x: x, opts: opts, logger: opts.Logger}
+	if h.logger == nil {
+		h.logger = slog.Default()
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := readOneProfile(w, r, x)
-		if !ok {
-			return
-		}
-		opts, ok := readProbeOptions(w, r, x)
-		if !ok {
-			return
-		}
-		writeJSON(w, newQueryResponse(x, x.ResolveWith(p, opts)))
-	})
-	mux.HandleFunc("/upsert", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := readOneProfile(w, r, x)
-		if !ok {
-			return
-		}
-		id, created, err := x.Upsert(*p)
-		if err != nil {
+	h.handle(mux, "/query", h.query)
+	h.handle(mux, "/upsert", h.upsert)
+	h.handle(mux, "/bulk", h.bulk)
+	h.handle(mux, "/snapshot/save", h.snapshotSave)
+	h.handle(mux, "/stats", h.stats)
+	if !opts.NoMetrics {
+		h.handle(mux, "/metrics", h.metrics)
+	}
+	return mux
+}
+
+// handler carries the index, options and per-route metrics behind the
+// mux.
+type handler struct {
+	x      *index.Index
+	opts   Options
+	logger *slog.Logger
+	routes []*routeMetrics
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	p, ok := readOneProfile(w, r, h.x)
+	if !ok {
+		return
+	}
+	opts, ok := readProbeOptions(w, r, h.x)
+	if !ok {
+		return
+	}
+	start := obs.Now()
+	res := h.x.ResolveWith(p, opts)
+	elapsed := obs.Now() - start
+	if h.opts.SlowQuery > 0 && elapsed >= int64(h.opts.SlowQuery) {
+		h.logSlowQuery(p, res, elapsed)
+	}
+	resp := newQueryResponse(h.x, res)
+	if wantDebug(r) {
+		resp.Debug = newDebugJSON(res)
+	}
+	writeJSON(w, resp)
+}
+
+func (h *handler) upsert(w http.ResponseWriter, r *http.Request) {
+	p, ok := readOneProfile(w, r, h.x)
+	if !ok {
+		return
+	}
+	id, created, err := h.x.Upsert(*p)
+	if err != nil {
+		httpError(w, upsertErrorStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "created": created})
+}
+
+func (h *handler) bulk(w http.ResponseWriter, r *http.Request) {
+	ps, ok := readProfiles(w, r, h.x)
+	if !ok {
+		return
+	}
+	for _, p := range ps {
+		if _, _, err := h.x.Upsert(p); err != nil {
 			httpError(w, upsertErrorStatus(err), err)
 			return
 		}
-		writeJSON(w, map[string]any{"id": id, "created": created})
+	}
+	writeJSON(w, map[string]any{"upserted": len(ps)})
+}
+
+func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	if h.opts.SnapshotPath == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no snapshot path configured (start sparker-serve with -snapshot)"))
+		return
+	}
+	// A replica consumes the snapshot file, never produces it — a
+	// stale replica must not clobber the primary's newer snapshot.
+	// Enforced here too, not only in sparker-serve's flag wiring, so
+	// embedders of the handler get the same invariant.
+	if h.x.ReadOnly() {
+		httpError(w, http.StatusForbidden, fmt.Errorf("read-only replica does not write snapshots"))
+		return
+	}
+	start := time.Now()
+	st, err := h.x.Save(h.opts.SnapshotPath)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"path":       st.Path,
+		"bytes":      st.Bytes,
+		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
 	})
-	mux.HandleFunc("/bulk", func(w http.ResponseWriter, r *http.Request) {
-		ps, ok := readProfiles(w, r, x)
-		if !ok {
-			return
-		}
-		for _, p := range ps {
-			if _, _, err := x.Upsert(p); err != nil {
-				httpError(w, upsertErrorStatus(err), err)
-				return
-			}
-		}
-		writeJSON(w, map[string]any{"upserted": len(ps)})
-	})
-	mux.HandleFunc("/snapshot/save", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-			return
-		}
-		if opts.SnapshotPath == "" {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no snapshot path configured (start sparker-serve with -snapshot)"))
-			return
-		}
-		// A replica consumes the snapshot file, never produces it — a
-		// stale replica must not clobber the primary's newer snapshot.
-		// Enforced here too, not only in sparker-serve's flag wiring, so
-		// embedders of the handler get the same invariant.
-		if x.ReadOnly() {
-			httpError(w, http.StatusForbidden, fmt.Errorf("read-only replica does not write snapshots"))
-			return
-		}
-		start := time.Now()
-		st, err := x.Save(opts.SnapshotPath)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"path":       st.Path,
-			"bytes":      st.Bytes,
-			"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
-		})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-			return
-		}
-		writeJSON(w, x.Snapshot())
-	})
-	return mux
+}
+
+// statsResponse is the /stats body: the index snapshot (its fields
+// inline, exactly the pre-observability shape) plus the per-route HTTP
+// counters the serving layer owns.
+type statsResponse struct {
+	index.Snapshot
+	HTTP []routeStatsJSON `json:"http"`
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, statsResponse{Snapshot: h.x.Snapshot(), HTTP: h.routeStats()})
+}
+
+// logSlowQuery emits one structured slow-query record with the
+// per-stage breakdown — enough to see where the time went without
+// re-running the query.
+func (h *handler) logSlowQuery(p *profile.Profile, res *index.Resolution, elapsedNanos int64) {
+	attrs := make([]any, 0, 2*index.NumStages+14)
+	attrs = append(attrs,
+		slog.String("original_id", p.OriginalID),
+		slog.Float64("elapsed_ms", float64(elapsedNanos)/1e6),
+	)
+	for s := 0; s < index.NumStages; s++ {
+		attrs = append(attrs, slog.Float64(index.Stage(s).String()+"_ms", float64(res.Query.StageNanos[s])/1e6))
+	}
+	attrs = append(attrs,
+		slog.Int("keys", res.Query.Keys),
+		slog.Int("postings_scanned", res.Query.PostingsScanned),
+		slog.Int("candidates", len(res.Query.Candidates)),
+		slog.Int("comparisons", res.Comparisons),
+		slog.Int("matches", len(res.Matches)),
+		slog.Bool("lsh_probed", res.Query.LSHProbed),
+	)
+	h.logger.Warn("slow query", attrs...)
 }
 
 // upsertErrorStatus maps index write errors onto HTTP statuses: writes
@@ -132,6 +221,16 @@ func upsertErrorStatus(err error) int {
 		return http.StatusForbidden
 	}
 	return http.StatusBadRequest
+}
+
+// wantDebug reports whether the request asked for the per-stage timing
+// breakdown.
+func wantDebug(r *http.Request) bool {
+	switch r.URL.Query().Get("debug") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // readProbeOptions parses the per-query LSH probe knobs. Explicitly
@@ -186,6 +285,29 @@ type matchJSON struct {
 	Score      float64    `json:"score"`
 }
 
+// stageNanosJSON is one row of the ?debug=1 breakdown.
+type stageNanosJSON struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// debugJSON is the ?debug=1 payload: where this query's time went,
+// stage by stage.
+type debugJSON struct {
+	Stages     []stageNanosJSON `json:"stages"`
+	TotalNanos int64            `json:"total_nanos"`
+}
+
+func newDebugJSON(r *index.Resolution) *debugJSON {
+	d := &debugJSON{Stages: make([]stageNanosJSON, 0, index.NumStages)}
+	for s := 0; s < index.NumStages; s++ {
+		n := r.Query.StageNanos[s]
+		d.Stages = append(d.Stages, stageNanosJSON{Stage: index.Stage(s).String(), Nanos: n})
+		d.TotalNanos += n
+	}
+	return d
+}
+
 // queryResponse carries a resolution plus its probe accounting.
 type queryResponse struct {
 	Candidates      []candidateJSON `json:"candidates"`
@@ -202,6 +324,9 @@ type queryResponse struct {
 	BucketsProbed int  `json:"buckets_probed,omitempty"`
 	BucketsPurged int  `json:"buckets_purged,omitempty"`
 	LSHCandidates int  `json:"lsh_candidates,omitempty"`
+	// Debug is the per-stage timing breakdown, present only with
+	// ?debug=1.
+	Debug *debugJSON `json:"debug,omitempty"`
 }
 
 func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
