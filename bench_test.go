@@ -447,6 +447,44 @@ func BenchmarkIndexQueryBare(b *testing.B) {
 	})
 }
 
+// BenchmarkIndexQueryBudget times budgeted resolution against the
+// budget=∞ baseline at 16 shards. The "unlimited" case runs the exact
+// pre-budget path (zero-value Budget adds only dead branches — ns/op
+// and allocs/op must match BenchmarkIndexQuery/shards-16); the capped
+// cases show resolution cost dropping with MaxComparisons, the lever
+// the serving tier's degradation ladder pulls under load.
+func BenchmarkIndexQueryBudget(b *testing.B) {
+	c := indexBenchCollection(b)
+	cfg := index.DefaultConfig()
+	cfg.Shards = 16
+	idx, err := index.NewFromCollection(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		opts index.ResolveOptions
+	}{
+		{"unlimited", index.ResolveOptions{}},
+		{"cap-4", index.ResolveOptions{Budget: index.Budget{MaxComparisons: 4}}},
+		{"cap-1", index.ResolveOptions{Budget: index.Budget{MaxComparisons: 1}}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var comparisons, next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % c.Size()
+					r := idx.ResolveWithOptions(c.Get(profile.ID(i)), bc.opts)
+					comparisons.Add(int64(r.Comparisons))
+				}
+			})
+			b.ReportMetric(float64(comparisons.Load())/float64(b.N), "comparisons/op")
+		})
+	}
+}
+
 // BenchmarkObsHistogram times the hot-path cost of one histogram
 // observation under full contention — every goroutine hammering the
 // same histogram, the worst case for the atomic bucket counters. The

@@ -40,6 +40,21 @@
 //	sparker-serve -generate -snapshot /var/lib/sparker/idx.snap
 //	# ... kill it, restart with the same flags: no re-indexing.
 //
+// Overload behavior: with -max-inflight the resolution routes sit
+// behind an admission gate — beyond the cap a request waits at most
+// -shed-wait for a slot and is then shed with 429/503 + Retry-After,
+// and admitted queries degrade under pressure (tightened budgets,
+// cheaper probe policies) instead of queueing. -default-budget-ms
+// bounds every query's wall clock; clients can tighten (or lift) it
+// per request with ?budget_ms= / ?max_comparisons=, and budget-bound
+// answers come back marked "truncated" with the stage that tripped.
+// GET /healthz (liveness) and /readyz (readiness: 503 while shedding
+// hard) let a load balancer drain replicas cleanly; request bodies are
+// capped by -max-body (413 beyond), and header/read/write/idle
+// timeouts close the slowloris hole:
+//
+//	sparker-serve -generate -max-inflight 64 -shed-wait 50ms -default-budget-ms 20ms
+//
 // Observability: GET /metrics serves the Prometheus text exposition
 // (disable with -metrics=false), /query?debug=1 returns a per-stage
 // timing breakdown inline, -slow-query logs any query slower than the
@@ -98,6 +113,11 @@ func run() error {
 		metrics   = flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 		pprofAddr = flag.String("pprof", "", "also serve net/http/pprof on this address (empty disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
+
+		maxInFlight   = flag.Int("max-inflight", 0, "admission gate: max concurrently served /query+/upsert+/bulk requests; beyond it requests shed with 429/503 instead of queueing (0 disables)")
+		shedWait      = flag.Duration("shed-wait", 0, "how long an over-limit request may wait for an admission slot before a 503 (0: shed immediately with 429)")
+		defaultBudget = flag.Duration("default-budget-ms", 0, "per-query wall-clock budget applied when the request carries no ?budget_ms= (0 = unlimited); accepts any duration, e.g. 50ms")
+		maxBody       = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes on /query, /upsert and /bulk (413 beyond it)")
 
 		shards    = flag.Int("shards", 16, "index shard count (a restored snapshot keeps its saved count)")
 		scheme    = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
@@ -281,13 +301,33 @@ func run() error {
 	}
 
 	// The handler itself refuses /snapshot/save on a read-only index
-	// (403), so the path can be passed through unconditionally.
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandlerOptions(idx, serve.Options{
-		SnapshotPath: *snapshot,
-		Logger:       logger,
-		SlowQuery:    *slowQuery,
-		NoMetrics:    !*metrics,
-	})}
+	// (403), so the path can be passed through unconditionally. The
+	// server-level timeouts close the slowloris hole: a client that
+	// trickles headers or never reads its response is cut off instead
+	// of holding a connection (and, with admission on, a slot) forever.
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: serve.NewHandlerOptions(idx, serve.Options{
+			SnapshotPath:  *snapshot,
+			Logger:        logger,
+			SlowQuery:     *slowQuery,
+			NoMetrics:     !*metrics,
+			MaxInFlight:   *maxInFlight,
+			ShedWait:      *shedWait,
+			DefaultBudget: *defaultBudget,
+			MaxBodyBytes:  *maxBody,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if *maxInFlight > 0 {
+		logger.Info("admission control on",
+			"max_inflight", *maxInFlight,
+			"shed_wait", shedWait.String(),
+			"default_budget", defaultBudget.String())
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr)

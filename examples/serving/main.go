@@ -204,4 +204,73 @@ func main() {
 	if _, _, err := replica.Upsert(sparker.Profile{OriginalID: "nope"}); err != nil {
 		fmt.Printf("replica rejects writes: %v\n", err)
 	}
+
+	// 6. Overload behavior: budgets and load-shedding. A query can cap
+	// its own work — ?max_comparisons=1 scores only the single
+	// best-ranked candidate and marks the answer truncated. Larger
+	// budgets only ever add matches (the candidates are ranked before
+	// scoring), so a truncated answer is the best-first prefix of the
+	// full one.
+	capped := func() map[string]any {
+		resp, err := http.Post(srv2.URL+"/query?max_comparisons=1", "application/json",
+			bytes.NewBufferString(`{"id": "probe", "name": "Acme TurboBlend 5000 blender"}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}()
+	fmt.Printf("budgeted query: %v comparison(s), truncated=%v at stage %q\n",
+		capped["comparisons"], capped["truncated"], capped["truncated_stage"])
+
+	// With -max-inflight (Options.MaxInFlight), over-limit requests shed
+	// with 429 + Retry-After instead of queueing. Simulate saturation
+	// with a one-slot gate and a scorer that parks the first query via
+	// the fault-injection hook (IndexConfig.ScoreHook).
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocked := false
+	shedCfg := sparker.DefaultIndexConfig()
+	shedCfg.ScoreHook = func() {
+		if !blocked { // queries run one at a time behind the 1-slot gate
+			blocked = true
+			close(entered)
+			<-release
+		}
+	}
+	shedIdx, err := sparker.NewIndex(collection, shedCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv3 := httptest.NewServer(serve.NewHandlerOptions(shedIdx, serve.Options{MaxInFlight: 1}))
+	defer srv3.Close()
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		resp, err := http.Post(srv3.URL+"/query", "application/json",
+			bytes.NewBufferString(`{"id": "probe", "name": "Acme TurboBlend 5000 blender"}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}()
+	<-entered // the slow query now holds the only admission slot
+
+	resp2, err := http.Post(srv3.URL+"/query", "application/json",
+		bytes.NewBufferString(`{"id": "probe", "name": "Zenix SoundWave speaker"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shedBody, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	fmt.Printf("saturated server shed with %d (Retry-After %s): %s",
+		resp2.StatusCode, resp2.Header.Get("Retry-After"), shedBody)
+
+	close(release) // the slow query finishes, the gate drains
+	<-slowDone
 }

@@ -109,6 +109,13 @@ type Config struct {
 	// breakdown reads zeros. Servers leave it off; the bare benchmark
 	// variant uses it to price the instrumentation.
 	DisableMetrics bool
+	// ScoreHook, when non-nil, runs once per candidate comparison in
+	// Resolve before the similarity measure — the fault-injection
+	// surface: overload tests install a sleeping or blocking hook to
+	// simulate slow scoring and drive the serving tier's admission gate
+	// and degradation ladder. Nil (the default) costs one predictable
+	// branch per comparison and changes nothing.
+	ScoreHook func()
 
 	// defaultJaccard records that Measure was nil and withDefaults
 	// installed the whole-profile Jaccard, enabling the cached-bag scorer.

@@ -78,6 +78,16 @@ type QueryResult struct {
 	// len(Candidates).
 	LSHCandidates int
 
+	// Truncated reports that the per-request budget
+	// (ResolveOptions.Budget) tripped before the resolution completed:
+	// the result is the best-first prefix the budget allowed, not the
+	// full answer. Always false under an unlimited budget.
+	Truncated bool
+	// TruncatedStage names the stage that was running when the budget
+	// first tripped ("candidates", "weigh", "score", ...); empty when
+	// not truncated.
+	TruncatedStage string
+
 	// selfID is the query profile's internal ID when it is itself
 	// indexed, or -1; Resolve reuses it to label matches.
 	selfID profile.ID
@@ -135,6 +145,14 @@ func (x *Index) Query(p *profile.Profile) *QueryResult {
 // rebuilding the index. On an index without LSH every policy degrades to
 // ProbeOff.
 func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
+	return x.queryBudget(p, opts, Budget{})
+}
+
+// queryBudget is the budget-aware query core behind QueryWith and
+// ResolveWithOptions. A zero budget takes exactly the historical path:
+// every deadline check hides behind a non-zero-field test, so unlimited
+// queries stay bitwise-identical and allocation-identical.
+func (x *Index) queryBudget(p *profile.Profile, opts ProbeOptions, budget Budget) *QueryResult {
 	x.queries.Add(1)
 	// The stage clock slices the query into contiguous per-stage
 	// durations: a stack value ticking into the result's fixed array,
@@ -233,6 +251,13 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 	defer x.putScratch(sc)
 	useEntropy := x.cfg.Entropy != nil
 	for _, pr := range probes {
+		// Deadline boundary: one clock read per posting, only when a
+		// deadline is set. Candidates accumulated so far still rank and
+		// score below — a truncated answer, not an empty one.
+		if budget.expired() {
+			res.truncate(StageCandidates)
+			break
+		}
 		s := pr.sh
 		s.mu.RLock()
 		pl := s.postings[pr.key]
@@ -284,7 +309,11 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 		if floor <= 0 {
 			floor = x.cfg.LSH.FallbackFloor
 		}
-		if opts.Policy == ProbeUnion || len(sc.Touched()) < floor {
+		if budget.expired() {
+			// An expired deadline skips the probe outright (a bucket walk
+			// can't be stopped best-first; not starting it is the bound).
+			res.truncate(StageLSHProbe)
+		} else if opts.Policy == ProbeUnion || len(sc.Touched()) < floor {
 			ls := x.lsh.getScratch()
 			qsig = x.querySignature(ls, p)
 			if qsig != nil {
@@ -298,7 +327,7 @@ func (x *Index) QueryWith(p *profile.Profile, opts ProbeOptions) *QueryResult {
 	}
 
 	res.selfID = selfID
-	x.weigh(res, liveKeys, sc, qsig)
+	x.weigh(res, liveKeys, sc, qsig, budget)
 	clk.Tick(res.StageNanos[:], int(StageWeigh))
 	res.Pruned = x.prune(res)
 	clk.Tick(res.StageNanos[:], int(StagePrune))
@@ -368,7 +397,7 @@ func (x *Index) probeLSH(p *profile.Profile, qsig []uint64, selfID profile.ID, m
 // blocking key — every co-occurrence scheme scores them zero) are
 // weighted by estimated Jaccard against qsig, or by shared-bucket count,
 // per LSHConfig.Weight.
-func (x *Index) weigh(res *QueryResult, queryKeys int, sc *queryScratch, qsig []uint64) {
+func (x *Index) weigh(res *QueryResult, queryKeys int, sc *queryScratch, qsig []uint64, budget Budget) {
 	if len(sc.Touched()) == 0 {
 		return
 	}
@@ -382,7 +411,13 @@ func (x *Index) weigh(res *QueryResult, queryKeys int, sc *queryScratch, qsig []
 	}
 	out := make([]Candidate, 0, len(sc.Touched()))
 	x.mu.RLock()
-	for _, id := range sc.Touched() {
+	for i, id := range sc.Touched() {
+		// Deadline boundary, every weighCheckInterval candidates: the
+		// candidates weighed so far still rank best-first below.
+		if budget.Deadline != 0 && i%weighCheckInterval == 0 && budget.expired() {
+			res.truncate(StageWeigh)
+			break
+		}
 		a := sc.At(id)
 		if a.cbs == 0 {
 			// Probe-only candidate: reachable only when an LSH probe ran.
@@ -514,7 +549,17 @@ func (x *Index) Resolve(p *profile.Profile) *Resolution {
 
 // ResolveWith is Resolve with per-query probe overrides (see QueryWith).
 func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
-	qr := x.QueryWith(p, opts)
+	return x.ResolveWithOptions(p, ResolveOptions{Probe: opts})
+}
+
+// ResolveWithOptions is Resolve with per-query probe overrides and a
+// work budget: a deadline stops the pipeline at the next stage or
+// comparison boundary, and MaxComparisons caps scoring to the
+// highest-ranked candidates. Either trip marks Query.Truncated with the
+// stage that was running — the result is the best-first prefix of the
+// unlimited answer. A zero budget is the exact unlimited behaviour.
+func (x *Index) ResolveWithOptions(p *profile.Profile, opts ResolveOptions) *Resolution {
+	qr := x.queryBudget(p, opts.Probe, opts.Budget)
 	r := &Resolution{Query: qr}
 	queryID := qr.selfID
 	m := x.metrics
@@ -539,6 +584,18 @@ func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
 	}
 	x.mu.RUnlock()
 
+	// The comparison cap truncates up-front: candidates arrive in rank
+	// order, so the cap keeps the best-weighted prefix. The deadline is
+	// checked per comparison (a clock read per scored candidate, only
+	// when a deadline is set — scoring dominates it by orders of
+	// magnitude).
+	budget := opts.Budget
+	if max := budget.MaxComparisons; max > 0 && max < len(cands) {
+		cands = cands[:max]
+		qr.truncate(StageScore)
+	}
+	hook := x.cfg.ScoreHook
+
 	if x.cfg.defaultJaccard {
 		// Default-Jaccard fast path: candidates carry their distinct token
 		// bag from upsert time, so the query is tokenized once and each
@@ -550,6 +607,13 @@ func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
 			qset[t] = struct{}{}
 		}
 		for _, c := range cands {
+			if budget.expired() {
+				qr.truncate(StageScore)
+				break
+			}
+			if hook != nil {
+				hook()
+			}
 			r.Comparisons++
 			score := jaccardBagSet(qset, c.sp.bag)
 			if score >= x.cfg.MatchThreshold {
@@ -558,6 +622,13 @@ func (x *Index) ResolveWith(p *profile.Profile, opts ProbeOptions) *Resolution {
 		}
 	} else {
 		for _, c := range cands {
+			if budget.expired() {
+				qr.truncate(StageScore)
+				break
+			}
+			if hook != nil {
+				hook()
+			}
 			r.Comparisons++
 			score := x.cfg.Measure(p, &c.sp.p)
 			if score >= x.cfg.MatchThreshold {

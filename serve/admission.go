@@ -1,0 +1,166 @@
+package serve
+
+// Admission control and graceful degradation: the front door of the
+// serving tier. A bounded semaphore caps in-flight work on the
+// expensive routes (/query, /upsert, /bulk); an over-limit request
+// waits at most Options.ShedWait for a slot (bounded by its own
+// context) and is otherwise shed with 429 (gate full, no wait
+// configured) or 503 (wait expired) plus Retry-After — the server
+// answers fast instead of queueing without bound. Admitted queries
+// carry a degradation level derived from gate occupancy; the ladder
+// (degrade* below) tightens their budget and probe policy so a loaded
+// server keeps answering with cheaper, truncated best-first results.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"sparker/internal/index"
+	"sparker/internal/obs"
+)
+
+// admission is the concurrency gate: a buffered-channel semaphore plus
+// the shed accounting. Nil disables admission entirely (the pre-gate
+// behaviour).
+type admission struct {
+	sem      chan struct{}
+	shedWait time.Duration
+
+	waiting     obs.Gauge
+	shedFull    obs.Counter
+	shedTimeout obs.Counter
+}
+
+func newAdmission(maxInFlight int, shedWait time.Duration) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	return &admission{sem: make(chan struct{}, maxInFlight), shedWait: shedWait}
+}
+
+// inFlight returns the currently admitted request count (0 on a nil gate).
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.sem)
+}
+
+// capacity returns the configured in-flight bound (0 on a nil gate).
+func (a *admission) capacity() int {
+	if a == nil {
+		return 0
+	}
+	return cap(a.sem)
+}
+
+// saturated reports a gate with no free slot — the "shedding hard"
+// signal /readyz drains replicas on. A nil gate is never saturated.
+func (a *admission) saturated() bool {
+	return a != nil && len(a.sem) == cap(a.sem)
+}
+
+// acquire claims a slot, waiting at most shedWait while ctx lives. It
+// returns the release func and the degradation level on admission, or
+// a non-zero HTTP status (429 or 503) when the request is shed.
+func (a *admission) acquire(ctx context.Context) (release func(), level, status int) {
+	if a == nil {
+		return func() {}, 0, 0
+	}
+	release = func() { <-a.sem }
+	// The level reads occupancy *before* self: the load this request
+	// found on arrival, not the load it created.
+	found := len(a.sem)
+	select {
+	case a.sem <- struct{}{}:
+		return release, levelFor(found, cap(a.sem), false), 0
+	default:
+	}
+	if a.shedWait <= 0 {
+		a.shedFull.Inc()
+		return nil, 0, http.StatusTooManyRequests
+	}
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	t := time.NewTimer(a.shedWait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return release, levelFor(cap(a.sem), cap(a.sem), true), 0
+	case <-t.C:
+		a.shedTimeout.Inc()
+		return nil, 0, http.StatusServiceUnavailable
+	case <-ctx.Done():
+		// The client gave up first; the status is moot but the slot
+		// must not leak, so shed like a timeout.
+		a.shedTimeout.Inc()
+		return nil, 0, http.StatusServiceUnavailable
+	}
+}
+
+// levelFor maps gate occupancy onto the degradation ladder: 0 below
+// half-full (healthy), 1 at half, 2 at three-quarters, 3 when the
+// request had to wait for a slot (the gate was full on arrival).
+func levelFor(occupied, capacity int, waited bool) int {
+	switch {
+	case waited:
+		return 3
+	case 4*occupied >= 3*capacity:
+		return 2
+	case 2*occupied >= capacity:
+		return 1
+	}
+	return 0
+}
+
+// The degradation ladder's budget schedule. A request that carries no
+// budget at all gets one imposed under pressure — degradation must
+// bound work even for clients that never asked for a bound.
+const (
+	// degradedBudgetCap is the widest wall-clock budget a degraded
+	// query may spend; each level above 1 halves it.
+	degradedBudgetCap = 200 * time.Millisecond
+	// degradedBudgetFloor is the narrowest budget degradation imposes —
+	// tight, but never so tight that every answer is empty.
+	degradedBudgetFloor = 5 * time.Millisecond
+)
+
+// degradedMaxComparisons caps scored candidates per level (level 1..3);
+// level 0 leaves the request's own cap untouched.
+var degradedMaxComparisons = [4]int{0, 1024, 256, 64}
+
+// degrade tightens a request's resolve options per the admission
+// level, in ladder order: level 1 tightens the wall-clock budget and
+// caps comparisons, level 2 also drops a union probe to fallback,
+// level 3 drops the probe entirely. The (possibly imposed) wall-clock
+// budget is returned so the caller can stamp the deadline once.
+func degrade(opts *index.ResolveOptions, level int, budget time.Duration) time.Duration {
+	if level <= 0 {
+		return budget
+	}
+	if budget == 0 || budget > degradedBudgetCap {
+		budget = degradedBudgetCap
+	}
+	budget >>= uint(level - 1)
+	if budget < degradedBudgetFloor {
+		budget = degradedBudgetFloor
+	}
+	if lim := degradedMaxComparisons[level]; opts.Budget.MaxComparisons == 0 || opts.Budget.MaxComparisons > lim {
+		opts.Budget.MaxComparisons = lim
+	}
+	switch {
+	case level >= 3:
+		opts.Probe.Policy = index.ProbeOff
+	case level >= 2 && opts.Probe.Policy == index.ProbeUnion:
+		opts.Probe.Policy = index.ProbeFallback
+	}
+	return budget
+}
+
+// shed writes the 429/503 shed response: Retry-After so well-behaved
+// clients back off, JSON error body like every other error surface.
+func shedResponse(w http.ResponseWriter, status int) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, status, errOverloaded)
+}

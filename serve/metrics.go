@@ -95,6 +95,41 @@ func (h *handler) routeStats() []routeStatsJSON {
 	return out
 }
 
+// admissionStatsJSON is the /stats digest of the admission gate and
+// the budget/degradation counters — what an operator reads to tell
+// "loaded but coping" (degraded/truncated climbing) from "refusing
+// work" (shed counters climbing).
+type admissionStatsJSON struct {
+	// MaxInFlight is the configured gate capacity (0 = admission off).
+	MaxInFlight int `json:"max_inflight"`
+	InFlight    int `json:"in_flight"`
+	Waiting     int `json:"waiting"`
+	// ShedFull counts requests shed immediately (429, no wait
+	// configured); ShedTimeout counts requests shed after the bounded
+	// wait expired or the client gave up (503).
+	ShedFull    int64 `json:"shed_full"`
+	ShedTimeout int64 `json:"shed_timeout"`
+	// Degraded counts queries served at a non-zero ladder level and
+	// Truncated responses whose budget tripped mid-resolution.
+	Degraded  int64 `json:"degraded_queries"`
+	Truncated int64 `json:"truncated_queries"`
+}
+
+func (h *handler) admissionStats() admissionStatsJSON {
+	s := admissionStatsJSON{
+		MaxInFlight: h.gate.capacity(),
+		InFlight:    h.gate.inFlight(),
+		Degraded:    h.degraded.Load(),
+		Truncated:   h.truncated.Load(),
+	}
+	if h.gate != nil {
+		s.Waiting = int(h.gate.waiting.Load())
+		s.ShedFull = h.gate.shedFull.Load()
+		s.ShedTimeout = h.gate.shedTimeout.Load()
+	}
+	return s
+}
+
 // metrics serves GET /metrics: the Prometheus text exposition of the
 // index and HTTP telemetry.
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +170,21 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Histogram("sparker_snapshot_load_seconds", "Durable snapshot restore latency.", m.Load.Snapshot(), 1e-9)
 		e.Gauge("sparker_snapshot_bytes", "Encoded size of the last snapshot.", float64(m.SnapshotBytes.Load()))
 	}
+
+	// Admission gate and budget/degradation telemetry: the overload
+	// dashboards alert on shed and degraded rates long before latency
+	// histograms drift.
+	adm := h.admissionStats()
+	e.Gauge("sparker_admission_max_in_flight", "Configured admission gate capacity (0 = admission off).", float64(adm.MaxInFlight))
+	e.Gauge("sparker_admission_in_flight", "Requests currently admitted through the gate.", float64(adm.InFlight))
+	e.Gauge("sparker_admission_waiting", "Requests waiting for an admission slot.", float64(adm.Waiting))
+	e.Counter("sparker_admission_shed_total", "Requests shed by the admission gate.", float64(adm.ShedFull),
+		obs.Label{Name: "reason", Value: "full"})
+	e.Counter("sparker_admission_shed_total", "Requests shed by the admission gate.", float64(adm.ShedTimeout),
+		obs.Label{Name: "reason", Value: "timeout"})
+	e.Counter("sparker_queries_degraded_total", "Queries served at a non-zero degradation level.", float64(adm.Degraded))
+	e.Counter("sparker_queries_truncated_total", "Query responses truncated by a per-request budget.", float64(adm.Truncated))
+	e.Histogram("sparker_query_budget_spent_comparisons", "Comparisons spent per budgeted query.", h.budgetSpent.Snapshot(), 1)
 
 	// Families must be contiguous in the exposition: emit each HTTP
 	// family across all routes before moving to the next.

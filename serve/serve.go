@@ -5,6 +5,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,8 +20,13 @@ import (
 	"sparker/internal/profile"
 )
 
-// Options configures the optional persistence and observability
-// surfaces of the handler.
+// DefaultMaxBodyBytes caps /query, /upsert and /bulk request bodies
+// when Options.MaxBodyBytes is zero: large enough for generous bulk
+// loads, small enough that one request can never balloon the heap.
+const DefaultMaxBodyBytes int64 = 32 << 20
+
+// Options configures the optional persistence, observability and
+// admission-control surfaces of the handler.
 type Options struct {
 	// SnapshotPath enables POST /snapshot/save: each call writes a
 	// durable snapshot of the index there (atomically). Empty disables
@@ -36,6 +42,24 @@ type Options struct {
 	SlowQuery time.Duration
 	// NoMetrics disables GET /metrics (enabled by default).
 	NoMetrics bool
+
+	// MaxInFlight caps concurrently served requests on the resolution
+	// routes (/query, /upsert, /bulk). Beyond the cap, requests wait at
+	// most ShedWait and are then shed with 429/503 + Retry-After
+	// instead of queueing; admitted queries degrade by gate occupancy
+	// (see admission.go). Zero disables admission control entirely.
+	MaxInFlight int
+	// ShedWait bounds how long an over-limit request waits for a slot
+	// (also bounded by the request's own context). Zero sheds
+	// immediately with 429; with a wait, expiry sheds with 503.
+	ShedWait time.Duration
+	// DefaultBudget is the wall-clock budget applied to /query requests
+	// that do not carry ?budget_ms= themselves. Zero means unlimited
+	// (until the degradation ladder imposes one under pressure).
+	DefaultBudget time.Duration
+	// MaxBodyBytes caps request bodies on /query, /upsert and /bulk
+	// (413 beyond it). Zero uses DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 }
 
 // NewHandler serves an index over HTTP:
@@ -49,17 +73,34 @@ type Options struct {
 //	                      (both need an LSH-enabled index; see
 //	                      IndexConfig.LSH and sparker-serve -lsh).
 //	                      ?debug=1 adds a per-stage timing breakdown of
-//	                      this query to the response.
+//	                      this query to the response. ?budget_ms= and
+//	                      ?max_comparisons= bound this query's work
+//	                      (wall-clock / scored candidates); a tripped
+//	                      budget returns the best-first prefix with
+//	                      "truncated": true and the tripping stage.
 //	POST /upsert        — body: one JSON profile; inserts or replaces it.
 //	POST /bulk          — body: JSON-lines profiles; upserts every record.
 //	POST /snapshot/save — write a durable snapshot (needs a configured
 //	                      snapshot path; see NewHandlerOptions).
 //	GET  /stats         — consistent index snapshot, including read-only
 //	                      mode, durable-snapshot metadata, per-stage
-//	                      timing digests and per-route HTTP counters.
+//	                      timing digests, per-route HTTP counters and
+//	                      admission/budget accounting.
 //	GET  /metrics       — Prometheus text exposition of the same
 //	                      telemetry (per-stage latency histograms,
-//	                      request/error counters, LSH probe rates).
+//	                      request/error counters, LSH probe rates,
+//	                      shed/degraded/truncated counters).
+//	GET  /healthz       — liveness: 200 while the process serves.
+//	GET  /readyz        — readiness: 200 while the index is up and the
+//	                      admission gate is not saturated; 503 tells a
+//	                      load balancer to drain this replica.
+//
+// With Options.MaxInFlight set, /query, /upsert and /bulk sit behind
+// an admission gate: over-limit requests wait at most Options.ShedWait
+// and are then shed with 429/503 + Retry-After, and admitted queries
+// degrade under pressure (tightened budget, cheaper probe policy) —
+// see admission.go for the ladder. Request bodies on those routes are
+// bounded by Options.MaxBodyBytes (413 beyond it).
 //
 // Every route is instrumented: request, 4xx and 5xx counters plus a
 // latency histogram per route, surfaced by both /stats and /metrics.
@@ -68,50 +109,113 @@ type Options struct {
 // identifier, every other field an attribute.
 func NewHandler(x *index.Index) http.Handler { return NewHandlerOptions(x, Options{}) }
 
-// NewHandlerOptions is NewHandler with the persistence and
-// observability surfaces configured.
+// NewHandlerOptions is NewHandler with the persistence, observability
+// and admission surfaces configured.
 func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
 	h := &handler{x: x, opts: opts, logger: opts.Logger}
 	if h.logger == nil {
 		h.logger = slog.Default()
 	}
+	h.gate = newAdmission(opts.MaxInFlight, opts.ShedWait)
+	h.maxBody = opts.MaxBodyBytes
+	if h.maxBody <= 0 {
+		h.maxBody = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
-	h.handle(mux, "/query", h.query)
-	h.handle(mux, "/upsert", h.upsert)
-	h.handle(mux, "/bulk", h.bulk)
+	h.handle(mux, "/query", h.gated(h.query))
+	h.handle(mux, "/upsert", h.gated(h.upsert))
+	h.handle(mux, "/bulk", h.gated(h.bulk))
 	h.handle(mux, "/snapshot/save", h.snapshotSave)
 	h.handle(mux, "/stats", h.stats)
+	h.handle(mux, "/healthz", h.healthz)
+	h.handle(mux, "/readyz", h.readyz)
 	if !opts.NoMetrics {
 		h.handle(mux, "/metrics", h.metrics)
 	}
 	return mux
 }
 
-// handler carries the index, options and per-route metrics behind the
-// mux.
+// handler carries the index, options, admission gate and per-route
+// metrics behind the mux.
 type handler struct {
-	x      *index.Index
-	opts   Options
-	logger *slog.Logger
-	routes []*routeMetrics
+	x       *index.Index
+	opts    Options
+	logger  *slog.Logger
+	routes  []*routeMetrics
+	gate    *admission
+	maxBody int64
+
+	// Budget/degradation accounting, exposed by /stats and /metrics.
+	degraded    obs.Counter   // queries served at a non-zero ladder level
+	truncated   obs.Counter   // responses whose budget tripped
+	budgetSpent obs.Histogram // comparisons spent per budgeted query
+}
+
+// errOverloaded is the shed response body: what a client sees when the
+// admission gate refuses its request.
+var errOverloaded = errors.New("server overloaded, retry later")
+
+// gated wraps a handler behind the admission gate: over-limit requests
+// shed with 429/503 + Retry-After instead of queueing. The admission
+// level rides in the request context for the query handler's
+// degradation ladder.
+func (h *handler) gated(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, level, status := h.gate.acquire(r.Context())
+		if status != 0 {
+			shedResponse(w, status)
+			return
+		}
+		defer release()
+		fn(w, r.WithContext(context.WithValue(r.Context(), admissionLevelKey{}, level)))
+	}
+}
+
+// admissionLevelKey carries the degradation level from the gate to the
+// query handler.
+type admissionLevelKey struct{}
+
+func admissionLevel(r *http.Request) int {
+	level, _ := r.Context().Value(admissionLevelKey{}).(int)
+	return level
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
-	p, ok := readOneProfile(w, r, h.x)
+	p, ok := h.readOneProfile(w, r)
 	if !ok {
 		return
 	}
-	opts, ok := readProbeOptions(w, r, h.x)
+	opts, budget, ok := readResolveOptions(w, r, h.x, h.opts.DefaultBudget)
 	if !ok {
 		return
 	}
+	// The degradation ladder: under gate pressure, tighten the budget
+	// (imposing one if the request carried none) and cheapen the probe
+	// policy — cheaper truncated answers instead of queueing delay.
+	level := admissionLevel(r)
+	budget = degrade(&opts, level, budget)
+	if budget > 0 {
+		opts.Budget.Deadline = index.DeadlineIn(budget)
+	}
+	budgeted := budget > 0 || opts.Budget.MaxComparisons > 0
+
 	start := obs.Now()
-	res := h.x.ResolveWith(p, opts)
+	res := h.x.ResolveWithOptions(p, opts)
 	elapsed := obs.Now() - start
 	if h.opts.SlowQuery > 0 && elapsed >= int64(h.opts.SlowQuery) {
 		h.logSlowQuery(p, res, elapsed)
 	}
+	if level > 0 {
+		h.degraded.Inc()
+	}
+	if res.Query.Truncated {
+		h.truncated.Inc()
+	}
+	if budgeted {
+		h.budgetSpent.Observe(int64(res.Comparisons))
+	}
 	resp := newQueryResponse(h.x, res)
+	resp.Degraded = level
 	if wantDebug(r) {
 		resp.Debug = newDebugJSON(res)
 	}
@@ -119,7 +223,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) upsert(w http.ResponseWriter, r *http.Request) {
-	p, ok := readOneProfile(w, r, h.x)
+	p, ok := h.readOneProfile(w, r)
 	if !ok {
 		return
 	}
@@ -132,7 +236,7 @@ func (h *handler) upsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) bulk(w http.ResponseWriter, r *http.Request) {
-	ps, ok := readProfiles(w, r, h.x)
+	ps, ok := h.readProfiles(w, r)
 	if !ok {
 		return
 	}
@@ -143,6 +247,35 @@ func (h *handler) bulk(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{"upserted": len(ps)})
+}
+
+// healthz is liveness: the process is up and the handler answers.
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// readyz is readiness: the index is restored/built (true by
+// construction once the handler exists) and the admission gate is not
+// saturated. A load balancer drains a replica answering 503 here while
+// /healthz keeps it alive — shedding hard is a reason to stop sending
+// traffic, not to restart the process.
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if h.gate.saturated() {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "shedding", "in_flight": h.gate.inFlight()})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok"})
 }
 
 func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
@@ -177,10 +310,11 @@ func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats body: the index snapshot (its fields
 // inline, exactly the pre-observability shape) plus the per-route HTTP
-// counters the serving layer owns.
+// counters and admission/budget accounting the serving layer owns.
 type statsResponse struct {
 	index.Snapshot
-	HTTP []routeStatsJSON `json:"http"`
+	HTTP      []routeStatsJSON   `json:"http"`
+	Admission admissionStatsJSON `json:"admission"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -188,7 +322,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, statsResponse{Snapshot: h.x.Snapshot(), HTTP: h.routeStats()})
+	writeJSON(w, statsResponse{Snapshot: h.x.Snapshot(), HTTP: h.routeStats(), Admission: h.admissionStats()})
 }
 
 // logSlowQuery emits one structured slow-query record with the
@@ -233,38 +367,59 @@ func wantDebug(r *http.Request) bool {
 	return false
 }
 
-// readProbeOptions parses the per-query LSH probe knobs. Explicitly
-// requesting a probe on an index without LSH is a client error, not a
-// silent no-op.
-func readProbeOptions(w http.ResponseWriter, r *http.Request, x *index.Index) (index.ProbeOptions, bool) {
-	opts := index.ProbeOptions{Policy: x.ProbePolicy()}
+// readResolveOptions parses the per-query knobs: the LSH probe
+// overrides (explicitly requesting a probe on an index without LSH is
+// a client error, not a silent no-op) and the work budget
+// (?budget_ms= wall-clock milliseconds, ?max_comparisons= scored
+// candidates). The wall-clock budget is returned as a duration — the
+// deadline itself is stamped by the caller after the degradation
+// ladder had its say.
+func readResolveOptions(w http.ResponseWriter, r *http.Request, x *index.Index, defaultBudget time.Duration) (index.ResolveOptions, time.Duration, bool) {
+	opts := index.ResolveOptions{Probe: index.ProbeOptions{Policy: x.ProbePolicy()}}
+	budget := defaultBudget
 	if s := r.URL.Query().Get("probe"); s != "" {
 		pol, err := index.ParseProbePolicy(s)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
-			return opts, false
+			return opts, 0, false
 		}
 		if pol != index.ProbeOff && !x.LSHEnabled() {
 			httpError(w, http.StatusBadRequest,
 				fmt.Errorf("probe=%s needs an LSH-enabled index (start sparker-serve with -lsh)", s))
-			return opts, false
+			return opts, 0, false
 		}
-		opts.Policy = pol
+		opts.Probe.Policy = pol
 	}
 	if s := r.URL.Query().Get("probe_floor"); s != "" {
 		floor, err := strconv.Atoi(s)
 		if err != nil || floor < 1 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad probe_floor %q", s))
-			return opts, false
+			return opts, 0, false
 		}
 		if !x.LSHEnabled() {
 			httpError(w, http.StatusBadRequest,
 				fmt.Errorf("probe_floor needs an LSH-enabled index (start sparker-serve with -lsh)"))
-			return opts, false
+			return opts, 0, false
 		}
-		opts.Floor = floor
+		opts.Probe.Floor = floor
 	}
-	return opts, true
+	if s := r.URL.Query().Get("budget_ms"); s != "" {
+		ms, err := strconv.ParseFloat(s, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad budget_ms %q (want non-negative milliseconds; 0 = unlimited)", s))
+			return opts, 0, false
+		}
+		budget = time.Duration(ms * float64(time.Millisecond))
+	}
+	if s := r.URL.Query().Get("max_comparisons"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max_comparisons %q (want non-negative; 0 = unlimited)", s))
+			return opts, 0, false
+		}
+		opts.Budget.MaxComparisons = n
+	}
+	return opts, budget, true
 }
 
 // candidateJSON is one ranked blocking candidate on the wire.
@@ -324,6 +479,13 @@ type queryResponse struct {
 	BucketsProbed int  `json:"buckets_probed,omitempty"`
 	BucketsPurged int  `json:"buckets_purged,omitempty"`
 	LSHCandidates int  `json:"lsh_candidates,omitempty"`
+	// Truncated marks a budget-bound answer: the best-first prefix the
+	// per-request budget allowed, with the stage that tripped it.
+	Truncated      bool   `json:"truncated,omitempty"`
+	TruncatedStage string `json:"truncated_stage,omitempty"`
+	// Degraded is the admission ladder level this query was served at
+	// (0 = healthy, omitted; 1..3 = tightened budget/probe policy).
+	Degraded int `json:"degraded,omitempty"`
 	// Debug is the per-stage timing breakdown, present only with
 	// ?debug=1.
 	Debug *debugJSON `json:"debug,omitempty"`
@@ -344,6 +506,8 @@ func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
 		BucketsProbed:   r.Query.BucketsProbed,
 		BucketsPurged:   r.Query.BucketsPurged,
 		LSHCandidates:   r.Query.LSHCandidates,
+		Truncated:       r.Query.Truncated,
+		TruncatedStage:  r.Query.TruncatedStage,
 	}
 	for _, c := range r.Query.Candidates {
 		cj := candidateJSON{ID: c.ID, Weight: c.Weight, SharedKeys: c.SharedKeys, SharedBuckets: c.SharedBuckets}
@@ -365,8 +529,8 @@ func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
 }
 
 // readOneProfile parses exactly one JSON profile from a POST body.
-func readOneProfile(w http.ResponseWriter, r *http.Request, x *index.Index) (*profile.Profile, bool) {
-	ps, ok := readProfiles(w, r, x)
+func (h *handler) readOneProfile(w http.ResponseWriter, r *http.Request) (*profile.Profile, bool) {
+	ps, ok := h.readProfiles(w, r)
 	if !ok {
 		return nil, false
 	}
@@ -377,14 +541,24 @@ func readOneProfile(w http.ResponseWriter, r *http.Request, x *index.Index) (*pr
 	return &ps[0], true
 }
 
-// readProfiles parses a JSON-lines POST body, applying the ?source param.
-func readProfiles(w http.ResponseWriter, r *http.Request, x *index.Index) ([]profile.Profile, bool) {
+// readProfiles parses a JSON-lines POST body, applying the ?source
+// param. The body is bounded by Options.MaxBodyBytes — one huge upload
+// answers 413, it does not balloon the heap.
+func (h *handler) readProfiles(w http.ResponseWriter, r *http.Request) ([]profile.Profile, bool) {
+	x := h.x
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return nil, false
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 	ps, err := loader.ReadProfilesJSONL(r.Body, "id")
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes (split the upload or raise -max-body)", tooBig.Limit))
+			return nil, false
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return nil, false
 	}

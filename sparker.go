@@ -29,6 +29,8 @@
 package sparker
 
 import (
+	"time"
+
 	"sparker/internal/blocking"
 	"sparker/internal/clustering"
 	"sparker/internal/core"
@@ -241,7 +243,19 @@ type (
 	IndexProbeOptions = index.ProbeOptions
 	// IndexLSHStats summarises the probe subsystem in IndexSnapshot.
 	IndexLSHStats = index.LSHStats
+	// IndexBudget bounds the work of one resolution (wall-clock
+	// deadline and/or max scored comparisons); a tripped budget returns
+	// the best-first prefix marked Truncated. The zero value is
+	// unlimited and bitwise-identical to the unbudgeted path.
+	IndexBudget = index.Budget
+	// IndexResolveOptions carries the per-request probe overrides plus
+	// the work budget (Index.ResolveWithOptions).
+	IndexResolveOptions = index.ResolveOptions
 )
+
+// IndexDeadlineIn converts a wall-clock budget into the monotonic
+// deadline IndexBudget.Deadline expects.
+func IndexDeadlineIn(d time.Duration) int64 { return index.DeadlineIn(d) }
 
 // LSH probe policies (IndexLSHConfig.Policy, IndexProbeOptions.Policy).
 const (
