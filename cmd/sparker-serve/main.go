@@ -31,14 +31,30 @@
 // build from the input flags when the file is absent or written by an
 // incompatible format version), saves it on SIGTERM/SIGINT and on POST
 // /snapshot/save, and with -snapshot-interval also on a timer. With
-// -read-only the index rejects upserts (HTTP 403) — the replica serving
-// mode: point several read-only processes at one snapshot file. A
-// replica only ever reads that file: automatic saves are disabled and
+// -delta-interval the timer writes delta snapshots instead: only the
+// ops applied since the last save are appended to the file, so the
+// persistence cost tracks the write rate, not the index size. Once the
+// accumulated delta tail exceeds -compact-ops operations the next
+// timed save compacts back to a full snapshot. With -read-only the
+// index rejects upserts (HTTP 403) — the replica serving mode: point
+// several read-only processes at one snapshot file. A replica only
+// ever reads that file: automatic saves are disabled and
 // /snapshot/save answers 403, so a stale replica can never clobber the
 // primary's newer snapshot.
 //
 //	sparker-serve -generate -snapshot /var/lib/sparker/idx.snap
 //	# ... kill it, restart with the same flags: no re-indexing.
+//
+// Replication: every sparker-serve keeps an in-memory op log (bounded
+// by -oplog-retain) and serves it on GET /deltas, with GET /snapshot
+// streaming a full bootstrap image. A replica started with -follow
+// bootstraps from its leader over HTTP, serves read-only at its last
+// applied sequence number, and tails the leader's delta feed; /stats
+// and /metrics report the replication lag. A follower that falls off
+// the leader's retention window re-bootstraps automatically.
+//
+//	sparker-serve -generate -addr :8080                  # leader
+//	sparker-serve -follow http://localhost:8080 -addr :8081
 //
 // Overload behavior: with -max-inflight the resolution routes sit
 // behind an admission gate — beyond the cap a request waits at most
@@ -78,6 +94,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -107,8 +124,13 @@ func run() error {
 		generate = flag.Bool("generate", false, "serve the generated SynthAbtBuy benchmark")
 
 		snapshot         = flag.String("snapshot", "", "snapshot file: restore at boot, save on SIGTERM and POST /snapshot/save")
-		snapshotInterval = flag.Duration("snapshot-interval", 0, "also save the snapshot periodically (0 disables)")
+		snapshotInterval = flag.Duration("snapshot-interval", 0, "also save a full snapshot periodically (0 disables)")
+		deltaInterval    = flag.Duration("delta-interval", 0, "append a delta snapshot (ops since the last save) periodically (0 disables)")
+		compactOps       = flag.Int("compact-ops", 10000, "compact to a full snapshot once the delta tail holds this many ops (0: never compact on the delta timer)")
 		readOnly         = flag.Bool("read-only", false, "replica mode: reject upserts (HTTP 403)")
+
+		follow      = flag.String("follow", "", "replicate from this leader URL: bootstrap via GET /snapshot, tail GET /deltas, serve read-only")
+		oplogRetain = flag.Int("oplog-retain", 0, "op frames retained in memory for /deltas and delta saves (0: default window)")
 
 		metrics   = flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 		pprofAddr = flag.String("pprof", "", "also serve net/http/pprof on this address (empty disables)")
@@ -144,9 +166,27 @@ func run() error {
 	if *topK <= 0 {
 		return fmt.Errorf("-k must be positive, got %d", *topK)
 	}
+	if *follow != "" {
+		if err := serve.ValidateLeaderURL(*follow); err != nil {
+			return err
+		}
+		if *fileA != "" || *fileB != "" || *dirty != "" || *generate {
+			return fmt.Errorf("-follow bootstraps from the leader; drop -a/-b/-dirty/-generate")
+		}
+	}
+	// A follower never writes; -read-only covers the shared-snapshot
+	// replica mode.
+	isReadOnly := *readOnly || *follow != ""
 
 	cfg := index.DefaultConfig()
 	cfg.Shards = *shards
+	// Every serving process keeps an op log: it is what /deltas serves
+	// and what delta saves append, and its memory is bounded by the
+	// retention window regardless of index size.
+	cfg.OpLog.Enabled = true
+	if *oplogRetain > 0 {
+		cfg.OpLog.MaxOps = *oplogRetain
+	}
 	cfg.MaxCandidates = *topK
 	cfg.MatchThreshold = *threshold
 	if *threshold == 0 {
@@ -213,10 +253,25 @@ func run() error {
 		}
 	}
 
-	// Restore at boot: a present, version-compatible snapshot skips
-	// loading and re-indexing the input files entirely.
+	// Restore at boot: a follower bootstraps from its leader over HTTP;
+	// otherwise a present, version-compatible snapshot skips loading and
+	// re-indexing the input files entirely.
 	var idx *index.Index
-	if *snapshot != "" {
+	var follower *serve.Follower
+	if *follow != "" {
+		follower = serve.NewFollower(*follow, cfg, serve.FollowerOptions{Logger: logger})
+		bctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		x, err := follower.Bootstrap(bctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		idx = x
+		logger.Info("bootstrapped from leader",
+			"leader", *follow,
+			"profiles", x.Size(),
+			"seq", x.Seq())
+	} else if *snapshot != "" {
 		x, err := index.Load(*snapshot, cfg)
 		switch {
 		case err == nil:
@@ -257,7 +312,7 @@ func run() error {
 	// auto-saving would overwrite a newer primary snapshot with this
 	// replica's stale copy.
 	save := func(reason string) {
-		if *snapshot == "" || *readOnly {
+		if *snapshot == "" || isReadOnly {
 			return
 		}
 		start := time.Now()
@@ -272,12 +327,60 @@ func run() error {
 			"elapsed", time.Since(start).Round(time.Millisecond),
 			"reason", reason)
 	}
-	if *snapshotInterval > 0 && *snapshot != "" && !*readOnly {
-		ticker := time.NewTicker(*snapshotInterval)
-		defer ticker.Stop()
+	saveDelta := func(reason string) {
+		if *snapshot == "" || isReadOnly {
+			return
+		}
+		start := time.Now()
+		st, err := idx.SaveDelta(*snapshot)
+		if err != nil {
+			logger.Error("delta save failed", "reason", reason, "path", *snapshot, "err", err)
+			return
+		}
+		logger.Info("saved delta",
+			"path", st.Path,
+			"seq", st.Seq,
+			"delta_ops", st.DeltaOps,
+			"delta_bytes", st.DeltaBytes,
+			"elapsed", time.Since(start).Round(time.Millisecond),
+			"reason", reason)
+	}
+	// One goroutine owns both save timers so shutdown can stop it and
+	// wait: the final save-on-SIGTERM never races an in-flight interval
+	// save, and the goroutine never outlives the graceful exit.
+	var saveLoop sync.WaitGroup
+	stopSaves := make(chan struct{})
+	if (*snapshotInterval > 0 || *deltaInterval > 0) && *snapshot != "" && !isReadOnly {
+		saveLoop.Add(1)
 		go func() {
-			for range ticker.C {
-				save("interval")
+			defer saveLoop.Done()
+			var fullC, deltaC <-chan time.Time
+			if *snapshotInterval > 0 {
+				t := time.NewTicker(*snapshotInterval)
+				defer t.Stop()
+				fullC = t.C
+			}
+			if *deltaInterval > 0 {
+				t := time.NewTicker(*deltaInterval)
+				defer t.Stop()
+				deltaC = t.C
+			}
+			for {
+				select {
+				case <-fullC:
+					save("interval")
+				case <-deltaC:
+					// Compaction: once the delta tail holds enough ops,
+					// pay for one full save and start a fresh tail —
+					// replay cost at restore stays bounded.
+					if st, ok := idx.PersistState(); ok && *compactOps > 0 && st.DeltaOps >= int64(*compactOps) {
+						save("compact")
+					} else {
+						saveDelta("interval")
+					}
+				case <-stopSaves:
+					return
+				}
 			}
 		}()
 	}
@@ -305,18 +408,20 @@ func run() error {
 	// server-level timeouts close the slowloris hole: a client that
 	// trickles headers or never reads its response is cut off instead
 	// of holding a connection (and, with admission on, a slot) forever.
+	handler := serve.NewHandlerOptions(idx, serve.Options{
+		SnapshotPath:  *snapshot,
+		Logger:        logger,
+		SlowQuery:     *slowQuery,
+		NoMetrics:     !*metrics,
+		MaxInFlight:   *maxInFlight,
+		ShedWait:      *shedWait,
+		DefaultBudget: *defaultBudget,
+		MaxBodyBytes:  *maxBody,
+		Follower:      follower,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: serve.NewHandlerOptions(idx, serve.Options{
-			SnapshotPath:  *snapshot,
-			Logger:        logger,
-			SlowQuery:     *slowQuery,
-			NoMetrics:     !*metrics,
-			MaxInFlight:   *maxInFlight,
-			ShedWait:      *shedWait,
-			DefaultBudget: *defaultBudget,
-			MaxBodyBytes:  *maxBody,
-		}),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      2 * time.Minute,
@@ -327,6 +432,12 @@ func run() error {
 			"max_inflight", *maxInFlight,
 			"shed_wait", shedWait.String(),
 			"default_budget", defaultBudget.String())
+	}
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	if follower != nil {
+		go func() { _ = follower.Run(runCtx, handler) }()
+		logger.Info("following leader", "leader", *follow)
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -339,11 +450,16 @@ func run() error {
 		return err
 	case sig := <-stop:
 		logger.Info("shutting down", "signal", sig.String())
+		cancelRun()
+		// Stop the timed saves first and wait the loop out: the final
+		// save below must not race an in-flight interval save.
+		close(stopSaves)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown failed", "err", err)
 		}
+		saveLoop.Wait()
 		save("shutdown")
 		return nil
 	}

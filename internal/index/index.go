@@ -103,6 +103,11 @@ type Config struct {
 	// candidate-generation modality beside the token postings (see
 	// lsh.go). The zero value disables it.
 	LSH LSHConfig
+	// OpLog enables the bounded in-memory op log (oplog.go): every
+	// upsert is framed and retained, enabling delta saves (SaveDelta)
+	// and HTTP replication to followers (OpsSince/ApplyOps). The zero
+	// value disables it and upserts cost nothing extra.
+	OpLog OpLogConfig
 	// DisableMetrics turns off the per-stage timing and histogram
 	// recording of the query/upsert hot paths (metrics.go): Metrics()
 	// returns nil, Snapshot carries no timings, and the ?debug=1 stage
@@ -159,6 +164,7 @@ func (c Config) withDefaults() Config {
 		c.defaultJaccard = true
 	}
 	c.LSH = c.LSH.withDefaults()
+	c.OpLog = c.OpLog.withDefaults()
 	return c
 }
 
@@ -234,6 +240,14 @@ type Index struct {
 	queries     atomic.Int64
 	upserts     atomic.Int64
 
+	// seq numbers applied writes 1, 2, 3, … — the replication clock: a
+	// v3 snapshot records it, op frames carry it, and followers track
+	// it. Advanced under writeMu; read lock-free (Seq, OpsSince).
+	seq atomic.Int64
+	// oplog retains recent op frames for delta saves and follower
+	// streaming (nil unless Config.OpLog.Enabled).
+	oplog *opLog
+
 	// lsh is the probe subsystem (nil when disabled); numBuckets counts
 	// live bucket postings (kept apart from numBlocks, which the ECBS
 	// weight consumes and must stay token-only), lshProbes the queries
@@ -280,6 +294,9 @@ func New(clean bool, cfg Config) *Index {
 	}
 	if !cfg.DisableMetrics {
 		x.metrics = &Metrics{}
+	}
+	if cfg.OpLog.Enabled {
+		x.oplog = newOpLog(cfg.OpLog)
 	}
 	x.lsh = newLSHState(cfg.LSH)
 	for i := range x.shards {
@@ -360,16 +377,34 @@ func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
 	defer x.writeMu.Unlock()
 
 	created := true
-	if oldID, ok := x.lookupOrig(origKey(&p)); ok {
+	oldID, replacing := x.lookupOrig(origKey(&p))
+	if replacing {
 		created = false
-		x.removeLocked(oldID)
 		p.ID = oldID
 	} else {
 		p.ID = x.nextID
+	}
+	// Frame the op before mutating anything: a profile the op/snapshot
+	// bounds reject fails the upsert cleanly instead of entering an
+	// index it could never leave through a save or a replica.
+	var rec opRec
+	if x.oplog != nil {
+		var err error
+		if rec, err = x.nextOpFrame(&p); err != nil {
+			return 0, false, err
+		}
+	}
+	if replacing {
+		x.removeLocked(oldID)
+	} else {
 		x.nextID++
 	}
 	x.putLocked(p)
 	x.upserts.Add(1)
+	x.seq.Add(1)
+	if x.oplog != nil {
+		x.oplog.append(rec)
+	}
 	if m != nil {
 		m.Upsert.Observe(obs.Now() - start)
 	}

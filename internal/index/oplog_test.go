@@ -1,0 +1,528 @@
+package index
+
+// Op log and delta-snapshot coverage: stream replay equivalence (the
+// replication contract), OpsSince/ApplyOps edge semantics, SaveDelta
+// round trips and fallbacks, torn-tail crash recovery, and the
+// concurrent upsert-during-delta-save battery run under -race in CI.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sparker/internal/profile"
+)
+
+// opLogConfig returns the default config with the op log enabled.
+func opLogConfig() Config {
+	cfg := DefaultConfig()
+	cfg.OpLog.Enabled = true
+	return cfg
+}
+
+// upsertAll feeds profiles through Upsert, failing the test on error.
+func upsertAll(t testing.TB, x *Index, ps []profile.Profile) {
+	t.Helper()
+	for _, p := range ps {
+		if _, _, err := x.Upsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// encodesEqual pins two indexes bitwise-identical at a fixed timestamp:
+// the encode is deterministic, so equality here means every profile,
+// posting list, counter and the sequence number agree exactly.
+func encodesEqual(t *testing.T, what string, a, b *Index) {
+	t.Helper()
+	ea := encodeVersionToBytes(t, a, snapshotVersion)
+	eb := encodeVersionToBytes(t, b, snapshotVersion)
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("%s: encodes differ (%d vs %d bytes)", what, len(ea), len(eb))
+	}
+}
+
+// TestOpLogStreamReplay is the replication contract: a fresh follower
+// replaying the leader's op stream (including replaces) converges to a
+// bitwise-identical index, and keeps converging incrementally.
+func TestOpLogStreamReplay(t *testing.T) {
+	leader := New(true, opLogConfig())
+	batch := synthQueryProfiles(30, 2, 3)
+	upsertAll(t, leader, batch)
+	// Replaces exercise remove-then-put replay and ID stability.
+	upsertAll(t, leader, []profile.Profile{
+		mkProfile("p3", "name", "replaced tok1 tok2"),
+		mkProfile("p4", "name", "also replaced shared1"),
+	})
+
+	follower := New(true, opLogConfig())
+	follower.SetReadOnly(true)
+
+	frames, seq, err := leader.OpsSince(0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != leader.Seq() || seq != int64(len(batch))+2 {
+		t.Fatalf("OpsSince seq = %d, want %d", seq, len(batch)+2)
+	}
+	applied, _, err := follower.ApplyOps(bytes.NewReader(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(applied) != seq || follower.Seq() != seq {
+		t.Fatalf("applied %d ops to seq %d, want %d", applied, follower.Seq(), seq)
+	}
+	encodesEqual(t, "full replay", leader, follower)
+
+	// Incremental catch-up from a mid-stream position.
+	upsertAll(t, leader, synthQueryProfiles(10, 2, 9)[5:])
+	frames, seq, err = leader.OpsSince(follower.Seq(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := follower.ApplyOps(bytes.NewReader(frames)); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Seq() != seq {
+		t.Fatalf("follower seq %d after catch-up, want %d", follower.Seq(), seq)
+	}
+	encodesEqual(t, "incremental replay", leader, follower)
+
+	// The follower is still a real replica: reads work, writes don't.
+	q := mkProfile("probe", "name", "tok1 tok2 shared1")
+	if lr, fr := leader.Query(&q), follower.Query(&q); len(lr.Candidates) != len(fr.Candidates) {
+		t.Fatalf("query answers diverge: %d vs %d candidates", len(lr.Candidates), len(fr.Candidates))
+	}
+	if _, _, err := follower.Upsert(mkProfile("nope", "name", "x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only follower accepted an upsert: %v", err)
+	}
+}
+
+// TestOpsSinceSemantics covers the caught-up, bounded, gapped and
+// disabled answers of the delta source.
+func TestOpsSinceSemantics(t *testing.T) {
+	x := New(false, opLogConfig())
+	upsertAll(t, x, synthQueryProfiles(8, 1, 5))
+
+	if frames, seq, err := x.OpsSince(x.Seq(), 1<<20); err != nil || frames != nil || seq != x.Seq() {
+		t.Fatalf("caught-up OpsSince = %d bytes, seq %d, err %v", len(frames), seq, err)
+	}
+	// A tiny byte budget still returns at least one frame, and chained
+	// calls drain the backlog without gaps.
+	var got int64
+	for got < x.Seq() {
+		frames, _, err := x.OpsSince(got, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := countOpFrames(frames)
+		if err != nil || n == 0 {
+			t.Fatalf("bounded OpsSince returned %d frames: %v", n, err)
+		}
+		got += int64(n)
+	}
+
+	if _, _, err := x.OpsSince(x.Seq()+5, 1<<20); !errors.Is(err, ErrOpLogGap) {
+		t.Fatalf("ahead-of-log OpsSince err = %v, want ErrOpLogGap", err)
+	}
+
+	// Evict the window: a follower at seq 0 must be told to resync.
+	small := DefaultConfig()
+	small.OpLog = OpLogConfig{Enabled: true, MaxOps: 4}
+	y := New(false, small)
+	upsertAll(t, y, synthQueryProfiles(12, 1, 5))
+	if _, _, err := y.OpsSince(0, 1<<20); !errors.Is(err, ErrOpLogGap) {
+		t.Fatalf("evicted-window OpsSince err = %v, want ErrOpLogGap", err)
+	}
+	if frames, _, err := y.OpsSince(y.Seq()-2, 1<<20); err != nil || len(frames) == 0 {
+		t.Fatalf("in-window OpsSince = %d bytes, err %v", len(frames), err)
+	}
+	if st := y.Snapshot().OpLog; st == nil || st.Ops != 4 || st.FloorSeq != y.Seq()-3 {
+		t.Fatalf("retention stats = %+v", st)
+	}
+
+	z := New(false, DefaultConfig())
+	if _, _, err := z.OpsSince(0, 1<<20); !errors.Is(err, ErrOpLogDisabled) {
+		t.Fatalf("disabled OpsSince err = %v, want ErrOpLogDisabled", err)
+	}
+	if z.OpLogEnabled() || z.OpNotify() != nil {
+		t.Fatal("disabled op log reports enabled surfaces")
+	}
+
+	// The long-poll primitive: a channel fetched before an append is
+	// closed by it.
+	ch := x.OpNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify channel closed before any append")
+	default:
+	}
+	upsertAll(t, x, []profile.Profile{mkProfile("wake", "name", "tok1")})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("notify channel not closed by append")
+	}
+}
+
+// countOpFrames walks concatenated frames, validating each.
+func countOpFrames(frames []byte) (n int, lastSeq int64, err error) {
+	br := bufio.NewReader(bytes.NewReader(frames))
+	for {
+		payload, err := readOpFrame(br)
+		if err == io.EOF {
+			return n, lastSeq, nil
+		}
+		if err != nil {
+			return n, lastSeq, err
+		}
+		o, err := decodeOpPayload(payload, false)
+		if err != nil {
+			return n, lastSeq, err
+		}
+		n++
+		lastSeq = o.seq
+	}
+}
+
+// TestApplyOpsRejects covers the strict side of replay: corruption,
+// sequence gaps and divergent replica state all stop the stream with an
+// error and an exact applied count.
+func TestApplyOpsRejects(t *testing.T) {
+	leader := New(false, opLogConfig())
+	upsertAll(t, leader, synthQueryProfiles(6, 1, 11))
+	frames, _, err := leader.OpsSince(0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip mid-stream: the CRC catches it; the valid prefix applies.
+	flipped := append([]byte(nil), frames...)
+	flipped[len(flipped)/2] ^= 0x20
+	f := New(false, opLogConfig())
+	applied, _, err := f.ApplyOps(bytes.NewReader(flipped))
+	if err == nil {
+		t.Fatal("corrupt op stream applied cleanly")
+	}
+	if int64(applied) != f.Seq() {
+		t.Fatalf("applied count %d disagrees with seq %d", applied, f.Seq())
+	}
+	if f.Seq() >= leader.Seq() {
+		t.Fatalf("corrupt stream fully applied (seq %d)", f.Seq())
+	}
+
+	// Sequence gap: a follower that missed ops must not silently skip.
+	one, _, err := leader.OpsSince(leader.Seq()-1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(false, opLogConfig())
+	if _, _, err := g.ApplyOps(bytes.NewReader(one)); err == nil {
+		t.Fatal("out-of-sequence op applied cleanly")
+	}
+
+	// Divergence: a replica holding a conflicting identity→ID mapping
+	// rejects the stream instead of corrupting posting lists.
+	d := New(false, opLogConfig())
+	upsertAll(t, d, []profile.Profile{mkProfile("divergent", "name", "tok1")})
+	if _, _, err := d.ApplyOps(bytes.NewReader(frames)); err == nil {
+		t.Fatal("divergent replica applied a conflicting stream")
+	}
+}
+
+// TestSaveDeltaRoundTrip drives the delta lifecycle: full save, delta
+// appends, restore, further deltas on the restored file, and compaction.
+func TestSaveDeltaRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	cfg := opLogConfig()
+	x := New(true, cfg)
+	upsertAll(t, x, synthQueryProfiles(20, 2, 7))
+
+	base, err := x.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BaseSeq != 20 || base.Seq != 20 || base.DeltaOps != 0 {
+		t.Fatalf("full-save state = %+v", base)
+	}
+
+	upsertAll(t, x, synthQueryProfiles(26, 2, 13)[20:])
+	st, err := x.SaveDelta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseSeq != 20 || st.Seq != 26 || st.DeltaOps != 6 || st.DeltaBytes == 0 {
+		t.Fatalf("delta-save state = %+v", st)
+	}
+	if st.Bytes != base.Bytes+st.DeltaBytes {
+		t.Fatalf("bytes %d, want base %d + delta %d", st.Bytes, base.Bytes, st.DeltaBytes)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != st.Bytes {
+		t.Fatalf("file size %v, want %d (err %v)", fi, st.Bytes, err)
+	}
+
+	// A delta save with nothing new leaves the file and state alone.
+	same, err := x.SaveDelta(path)
+	if err != nil || same != st {
+		t.Fatalf("idle delta save = %+v, err %v; want unchanged", same, err)
+	}
+
+	y, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodesEqual(t, "base+delta restore", x, y)
+	if yst, _ := y.PersistState(); yst.DeltaOps != 6 || yst.Seq != 26 || yst.BaseSeq != 20 {
+		t.Fatalf("restored persist state = %+v", yst)
+	}
+
+	// The restored index can keep extending the same file: its op log
+	// holds the replayed tail, and the size/seq bookkeeping lines up.
+	upsertAll(t, y, []profile.Profile{mkProfile("extra", "name", "tok2 shared0")})
+	yst, err := y.SaveDelta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yst.Seq != 27 || yst.DeltaOps != 7 {
+		t.Fatalf("restored-then-delta state = %+v", yst)
+	}
+	z, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodesEqual(t, "restored chain", y, z)
+
+	// Compaction: a full save folds the tail back into the image.
+	upsertAll(t, y, []profile.Profile{mkProfile("extra2", "name", "tok3")})
+	cst, err := y.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.BaseSeq != 28 || cst.Seq != 28 || cst.DeltaOps != 0 || cst.DeltaBytes != 0 {
+		t.Fatalf("compacted state = %+v", cst)
+	}
+	w, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodesEqual(t, "compacted restore", y, w)
+}
+
+// TestSaveDeltaFallsBackToFull enumerates the conditions under which a
+// delta append cannot be proven safe; each must produce a correct full
+// save, never an error or a corrupt file.
+func TestSaveDeltaFallsBackToFull(t *testing.T) {
+	dir := t.TempDir()
+	newLeader := func(cfg Config) *Index {
+		x := New(true, cfg)
+		upsertAll(t, x, synthQueryProfiles(10, 2, 7))
+		return x
+	}
+	expectFull := func(name string, x *Index, path string) {
+		t.Helper()
+		st, err := x.SaveDelta(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.DeltaOps != 0 || st.BaseSeq != st.Seq || st.Seq != x.Seq() {
+			t.Fatalf("%s: state %+v is not a full save", name, st)
+		}
+		y, err := Load(path, x.cfg)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		encodesEqual(t, name, x, y)
+	}
+
+	// Op log disabled: SaveDelta is Save.
+	expectFull("oplog disabled", newLeader(DefaultConfig()), filepath.Join(dir, "plain.snap"))
+
+	// Never saved: nothing to append to.
+	expectFull("first save", newLeader(opLogConfig()), filepath.Join(dir, "first.snap"))
+
+	// Saved to a different path: the recorded state describes another file.
+	x := newLeader(opLogConfig())
+	if _, err := x.Save(filepath.Join(dir, "a.snap")); err != nil {
+		t.Fatal(err)
+	}
+	upsertAll(t, x, []profile.Profile{mkProfile("n1", "name", "tok1")})
+	expectFull("path switch", x, filepath.Join(dir, "b.snap"))
+
+	// File tampered with since the last save (size mismatch).
+	p := filepath.Join(dir, "trunc.snap")
+	y := newLeader(opLogConfig())
+	if _, err := y.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	upsertAll(t, y, []profile.Profile{mkProfile("n2", "name", "tok1")})
+	expectFull("size mismatch", y, p)
+
+	// Retention gap: the ops since the last save were evicted.
+	small := DefaultConfig()
+	small.OpLog = OpLogConfig{Enabled: true, MaxOps: 3}
+	z := New(true, small)
+	upsertAll(t, z, synthQueryProfiles(6, 2, 7))
+	gp := filepath.Join(dir, "gap.snap")
+	if _, err := z.Save(gp); err != nil {
+		t.Fatal(err)
+	}
+	upsertAll(t, z, synthQueryProfiles(12, 2, 19)[6:])
+	expectFull("retention gap", z, gp)
+
+	// Read-only replicas never save, delta or otherwise.
+	z.SetReadOnly(true)
+	if _, err := z.SaveDelta(gp); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only SaveDelta err = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestDeltaTailRecovery is the crash-safety pin: a torn or bit-flipped
+// delta tail loses only the frames at and past the damage — the base
+// image and the valid prefix always restore.
+func TestDeltaTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	cfg := opLogConfig()
+	x := New(true, cfg)
+	upsertAll(t, x, synthQueryProfiles(10, 2, 7))
+	base, err := x.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upsertAll(t, x, synthQueryProfiles(16, 2, 23)[10:])
+	st, err := x.SaveDelta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := func(name string, b []byte) *Index {
+		t.Helper()
+		y, err := Decode(bytes.NewReader(b), cfg)
+		if err != nil {
+			t.Fatalf("%s: recovery failed outright: %v", name, err)
+		}
+		return y
+	}
+
+	// Crash mid-append: the file ends inside a frame.
+	for _, cut := range []int64{1, 3, int64(st.DeltaBytes) / 2, int64(st.DeltaBytes) - 1} {
+		y := restore("torn tail", valid[:base.Bytes+int64(st.DeltaBytes)-cut])
+		if y.Seq() < base.Seq || y.Seq() >= st.Seq {
+			t.Fatalf("cut %d: recovered seq %d outside [%d, %d)", cut, y.Seq(), base.Seq, st.Seq)
+		}
+	}
+
+	// Bit flip inside the tail: the frame CRC stops replay there; every
+	// op before the damage is recovered.
+	flipped := append([]byte(nil), valid...)
+	flipped[base.Bytes+st.DeltaBytes/2] ^= 0x04
+	y := restore("bit-flipped tail", flipped)
+	if y.Seq() < base.Seq || y.Seq() >= st.Seq {
+		t.Fatalf("bit flip: recovered seq %d outside [%d, %d)", y.Seq(), base.Seq, st.Seq)
+	}
+
+	// The recovered prefix is exactly the leader's state at that seq:
+	// cut precisely at the first frame boundary and compare against a
+	// leader stopped at the same op.
+	ref := New(true, cfg)
+	upsertAll(t, ref, synthQueryProfiles(10, 2, 7))
+	upsertAll(t, ref, synthQueryProfiles(16, 2, 23)[10:11])
+	one, _, err := x.OpsSince(base.Seq, 1) // byte budget 1 → exactly one frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	y = restore("exact prefix", valid[:base.Bytes+int64(len(one))])
+	if y.Seq() != base.Seq+1 {
+		t.Fatalf("exact prefix recovered seq %d, want %d", y.Seq(), base.Seq+1)
+	}
+	encodesEqual(t, "exact prefix", ref, y)
+}
+
+// TestConcurrentUpsertDuringSaveDelta is the -race battery: writers
+// hammer the index while delta and full saves interleave on the same
+// file, then the final file must restore bitwise-identical to the live
+// index — the equivalence full-save+replay(deltas) == direct full save.
+func TestConcurrentUpsertDuringSaveDelta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	cfg := opLogConfig()
+	x := New(true, cfg)
+	upsertAll(t, x, synthQueryProfiles(40, 2, 7))
+	if _, err := x.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 4, 30
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := synthQueryProfiles(perWriter, 2, uint64(100+w))
+			for i, p := range ps {
+				p.OriginalID = p.OriginalID + "w" + string(rune('a'+w))
+				if _, _, err := x.Upsert(p); err != nil {
+					t.Errorf("writer %d upsert %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	saveDone := make(chan struct{})
+	go func() {
+		defer close(saveDone)
+		for i := 0; i < 20; i++ {
+			var err error
+			if i%5 == 4 {
+				_, err = x.Save(path) // periodic compaction in the mix
+			} else {
+				_, err = x.SaveDelta(path)
+			}
+			if err != nil {
+				t.Errorf("save %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-saveDone
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced: one final delta covers everything, and the file restores
+	// to the exact live state.
+	st, err := x.SaveDelta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != x.Seq() {
+		t.Fatalf("final delta seq %d, want %d", st.Seq, x.Seq())
+	}
+	y, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodesEqual(t, "concurrent battery", x, y)
+
+	// And the same state reached by pure full save agrees too.
+	fullPath := filepath.Join(t.TempDir(), "full.snap")
+	if _, err := x.Save(fullPath); err != nil {
+		t.Fatal(err)
+	}
+	z, err := Load(fullPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodesEqual(t, "delta vs full", y, z)
+}

@@ -8,9 +8,10 @@ package index
 // File layout (integers are varints, strings are uvarint length + bytes):
 //
 //	magic   "SPKRIDX1" (8 bytes)
-//	uvarint format version (currently 2; version-1 files still load)
+//	uvarint format version (currently 3; version-1/-2 files still load)
 //	header  clean flag, shard count, save timestamp, nextID,
-//	        queries/upserts counters, profile count, posting count
+//	        queries/upserts counters, (v3+) base sequence number,
+//	        profile count, posting count
 //	LSH     (v2+) presence byte; when set: signature length, MinHash
 //	        seed, banding threshold bits, probe counters
 //	profiles section: per profile ID, source, original ID, attributes,
@@ -19,6 +20,14 @@ package index
 //	per-shard sections: posting count, then per posting key, cluster,
 //	        and the source-A / source-B ID lists in live order
 //	trailer CRC-32 (IEEE) of every preceding byte
+//	deltas  (v3+, optional) appended op frames — see oplog.go. SaveDelta
+//	        appends the ops applied since the file's last save instead
+//	        of rewriting the image, so save cost is O(ops), not O(index
+//	        size); a full Save compacts them back into the image. Each
+//	        frame carries its own CRC, and recovery replays the tail in
+//	        sequence order, dropping a torn or corrupt suffix (a crash
+//	        mid-append loses at most the unsynced frames, never the
+//	        base image).
 //
 // LSH bucket postings are not serialized: band keys are a pure function
 // of (signature, banding layout), so Decode re-derives the buckets from
@@ -53,9 +62,12 @@ import (
 const (
 	snapshotMagic = "SPKRIDX1"
 	// snapshotVersion is the format this build writes; snapshotVersionV1
-	// (no LSH section) is still accepted by Decode.
-	snapshotVersion   = 2
+	// (no LSH section, no sequence number or delta tail) and
+	// snapshotVersionV2 (no sequence number or delta tail) are still
+	// accepted by Decode.
+	snapshotVersion   = 3
 	snapshotVersionV1 = 1
+	snapshotVersionV2 = 2
 
 	// maxSnapshotString bounds any single length-prefixed string
 	// (attribute values, blocking keys) a snapshot may carry. Enforced
@@ -98,8 +110,19 @@ type PersistState struct {
 	// Bytes is the encoded snapshot size.
 	Bytes int64 `json:"bytes,omitempty"`
 	// SavedAt is when the snapshot was written (for a restored index,
-	// when the restored file was originally saved).
+	// when the restored file was originally saved). Delta saves append
+	// to that file and do not move it.
 	SavedAt time.Time `json:"saved_at,omitempty"`
+	// BaseSeq is the sequence number compacted into the file's full
+	// image (the last full Save, or the restored file's header).
+	BaseSeq int64 `json:"base_seq,omitempty"`
+	// Seq is the last sequence number the file covers: BaseSeq plus any
+	// delta frames appended by SaveDelta (or replayed at restore).
+	Seq int64 `json:"seq,omitempty"`
+	// DeltaOps and DeltaBytes count the op frames currently appended
+	// after the base image — what the next full Save will compact.
+	DeltaOps   int64 `json:"delta_ops,omitempty"`
+	DeltaBytes int64 `json:"delta_bytes,omitempty"`
 }
 
 // PersistState returns the durable-snapshot state, or ok=false when the
@@ -112,6 +135,12 @@ func (x *Index) PersistState() (PersistState, bool) {
 
 // ReadOnly reports whether the index rejects writes (replica mode).
 func (x *Index) ReadOnly() bool { return x.readOnly.Load() }
+
+// Restored reports that the index was built by Load/Decode rather than
+// from a collection — the readiness signal for a replica: a read-only
+// index that never restored (and never applied a delta) is an empty
+// shell a load balancer should not route to.
+func (x *Index) Restored() bool { return x.restored }
 
 // SetReadOnly toggles replica mode: a read-only index rejects Upsert
 // with ErrReadOnly while queries keep working.
@@ -139,7 +168,21 @@ func (x *Index) Save(path string) (PersistState, error) {
 	}
 	x.saveMu.Lock()
 	defer x.saveMu.Unlock()
+	st, err := x.saveFullLocked(path)
+	if err != nil {
+		return st, err
+	}
+	if m := x.metrics; m != nil {
+		m.Save.Observe(obs.Now() - saveStart)
+		m.SnapshotBytes.Store(st.Bytes)
+	}
+	return st, nil
+}
 
+// saveFullLocked writes the complete image (compacting any delta tail
+// the previous file carried, since the rename replaces it wholesale).
+// Caller holds saveMu.
+func (x *Index) saveFullLocked(path string) (PersistState, error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -150,6 +193,9 @@ func (x *Index) Save(path string) (PersistState, error) {
 
 	x.writeMu.Lock()
 	n, err := x.encodeLocked(bw, now)
+	// The image compacts exactly the writes applied so far: capture the
+	// sequence under the same writer-lock hold as the encode.
+	seq := x.seq.Load()
 	x.writeMu.Unlock()
 
 	if err == nil {
@@ -177,13 +223,97 @@ func (x *Index) Save(path string) (PersistState, error) {
 		_ = dir.Sync()
 		dir.Close()
 	}
-	st := PersistState{Restored: x.restored, Path: path, Bytes: n, SavedAt: now}
+	st := PersistState{
+		Restored: x.restored, Path: path, Bytes: n, SavedAt: now,
+		BaseSeq: seq, Seq: seq,
+	}
+	x.persistMu.Lock()
+	x.persist = st
+	x.persistMu.Unlock()
+	return st, nil
+}
+
+// SaveDelta appends the op frames applied since the file's last save to
+// the snapshot at path, making persistence cost O(ops since last save)
+// instead of O(index size). It degrades to a full Save whenever a delta
+// append cannot be proven safe: the op log is disabled, path is not the
+// file the last save wrote, the file on disk no longer matches the
+// recorded size (truncated, replaced, or torn by an earlier failure),
+// or the needed ops have been evicted from the retention window.
+// Callers alternate it with periodic full Saves, which compact the
+// accumulated tail (sparker-serve's -delta-interval / -compact-ops).
+func (x *Index) SaveDelta(path string) (PersistState, error) {
+	if x.readOnly.Load() {
+		return PersistState{}, fmt.Errorf("index: save delta: %w", ErrReadOnly)
+	}
+	var saveStart int64
+	if x.metrics != nil {
+		saveStart = obs.Now()
+	}
+	x.saveMu.Lock()
+	defer x.saveMu.Unlock()
+
+	x.persistMu.Lock()
+	st := x.persist
+	x.persistMu.Unlock()
+
+	full := func() (PersistState, error) {
+		st, err := x.saveFullLocked(path)
+		if err != nil {
+			return st, err
+		}
+		if m := x.metrics; m != nil {
+			m.Save.Observe(obs.Now() - saveStart)
+			m.SnapshotBytes.Store(st.Bytes)
+		}
+		return st, nil
+	}
+	if x.oplog == nil || st.Path != path || st == (PersistState{}) {
+		return full()
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != st.Bytes {
+		return full()
+	}
+	frames, last, gap := x.oplog.framesAfter(st.Seq, math.MaxInt)
+	if gap {
+		return full()
+	}
+	if len(frames) == 0 {
+		// Nothing new since the last save; the file already covers seq.
+		if m := x.metrics; m != nil {
+			m.SaveDelta.Observe(obs.Now() - saveStart)
+		}
+		return st, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return full()
+	}
+	_, err = f.Write(frames)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// The append may be torn mid-frame; recovery drops the bad tail,
+		// and the size check above forces the next save to go full.
+		return PersistState{}, fmt.Errorf("index: save delta %s: %w", path, err)
+	}
+
+	// Sequence numbers are consecutive, so the op count is the span.
+	st.DeltaOps += last - st.Seq
+	st.Seq = last
+	st.Bytes += int64(len(frames))
+	st.DeltaBytes += int64(len(frames))
 	x.persistMu.Lock()
 	x.persist = st
 	x.persistMu.Unlock()
 	if m := x.metrics; m != nil {
-		m.Save.Observe(obs.Now() - saveStart)
-		m.SnapshotBytes.Store(n)
+		m.SaveDelta.Observe(obs.Now() - saveStart)
+		m.SnapshotBytes.Store(st.Bytes)
 	}
 	return st, nil
 }
@@ -238,8 +368,8 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot version: %w", err)
 	}
-	if version != snapshotVersion && version != snapshotVersionV1 {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d and %d",
+	if version < snapshotVersionV1 || version > snapshotVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d through %d",
 			ErrSnapshotVersion, version, snapshotVersionV1, snapshotVersion)
 	}
 
@@ -267,6 +397,16 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	upserts, err := cr.uvarint()
 	if err != nil || upserts > math.MaxInt64 {
 		return nil, fmt.Errorf("snapshot upsert counter: %w", orBad(err, 0))
+	}
+	// v3 records the base sequence number the image compacts; earlier
+	// formats predate the op log, where seq simply tracked the upsert
+	// counter (every applied write advances both by one).
+	baseSeq := upserts
+	if version >= 3 {
+		baseSeq, err = cr.uvarint()
+		if err != nil || baseSeq > math.MaxInt64 {
+			return nil, fmt.Errorf("snapshot sequence number: %w", orBad(err, 0))
+		}
 	}
 	numProfiles, err := cr.uvarint()
 	// The index never deletes a profile outright (removals only happen
@@ -386,7 +526,7 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("snapshot holds %d postings, header says %d", totalPostings, numBlocks)
 	}
 
-	// Trailer: CRC of everything read so far, then clean EOF.
+	// Trailer: CRC of everything read so far.
 	sum := cr.sum
 	var trailer [4]byte
 	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
@@ -395,9 +535,6 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
 		return nil, fmt.Errorf("snapshot checksum mismatch: file %08x, computed %08x", got, sum)
 	}
-	if _, err := cr.r.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("trailing data after snapshot checksum")
-	}
 
 	x.nextID = profile.ID(nextID)
 	x.idBound.Store(int64(nextID))
@@ -405,15 +542,51 @@ func Decode(r io.Reader, cfg Config) (*Index, error) {
 	x.numBlocks.Store(int64(totalPostings))
 	x.queries.Store(int64(queries))
 	x.upserts.Store(int64(upserts))
+	x.seq.Store(int64(baseSeq))
 	if x.lshOn() && fileLSH {
 		x.lshProbes.Store(int64(fileProbes))
 		x.lshOnly.Store(int64(fileLSHOnly))
 	}
 	x.restored = true
+
+	// After the trailer: v1/v2 require clean EOF; a v3 file may carry a
+	// delta tail of op frames SaveDelta appended after the base image.
+	// Replay it in sequence order, applying each frame exactly as a
+	// follower would. The tail is lenient where the image is strict: a
+	// torn, bit-flipped, or otherwise invalid frame ends recovery there
+	// and the valid prefix stands — that is the crash-safety contract
+	// of an append-only tail (a crash mid-append loses at most the
+	// frames past the last valid one). Each frame carries its own CRC,
+	// so silent corruption cannot be replayed.
+	deltaOps, deltaBytes := int64(0), int64(0)
+	if version >= 3 {
+		for {
+			payload, err := readOpFrame(cr.r)
+			if err != nil {
+				break // clean EOF or a torn/corrupt frame: drop the rest
+			}
+			o, err := decodeOpPayload(payload, x.clean)
+			if err != nil {
+				break
+			}
+			if err := x.applyOpLocked(o, payload); err != nil {
+				break
+			}
+			deltaOps++
+			deltaBytes += int64(opFrameOverhead + len(payload))
+		}
+	} else if _, err := cr.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after snapshot checksum")
+	}
+
 	x.persist = PersistState{
-		Restored: true,
-		Bytes:    cr.n + int64(len(trailer)),
-		SavedAt:  time.Unix(0, savedAtNanos),
+		Restored:   true,
+		Bytes:      cr.n + int64(len(trailer)) + deltaBytes,
+		SavedAt:    time.Unix(0, savedAtNanos),
+		BaseSeq:    int64(baseSeq),
+		Seq:        x.seq.Load(),
+		DeltaOps:   deltaOps,
+		DeltaBytes: deltaBytes,
 	}
 	return x, nil
 }
@@ -426,9 +599,10 @@ func (x *Index) encodeLocked(w io.Writer, savedAt time.Time) (int64, error) {
 
 // encodeVersionLocked writes the requested format version: Save and
 // Encode always pass snapshotVersion; the backward-compatibility tests
-// pass snapshotVersionV1 to produce genuine v1 byte streams (which have
-// no LSH section, so an LSH-enabled index writes its signatures only at
-// v2+).
+// pass snapshotVersionV1 or snapshotVersionV2 to produce genuine old
+// byte streams (v1 has no LSH section, so an LSH-enabled index writes
+// its signatures only at v2+; the sequence-number header field and the
+// right to carry a delta tail arrive at v3).
 func (x *Index) encodeVersionLocked(w io.Writer, savedAt time.Time, version uint64) (int64, error) {
 	cw := &crcWriter{w: w}
 	cw.bytes([]byte(snapshotMagic))
@@ -443,6 +617,9 @@ func (x *Index) encodeVersionLocked(w io.Writer, savedAt time.Time, version uint
 	cw.uvarint(uint64(x.nextID))
 	cw.uvarint(uint64(x.queries.Load()))
 	cw.uvarint(uint64(x.upserts.Load()))
+	if version >= 3 {
+		cw.uvarint(uint64(x.seq.Load()))
+	}
 	cw.uvarint(uint64(len(x.byID)))
 	cw.uvarint(uint64(x.numBlocks.Load()))
 

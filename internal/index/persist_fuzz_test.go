@@ -10,9 +10,10 @@ import (
 // consistent, queryable index or returns an error — never a panic, and
 // never an allocation proportional to a lying length header rather than
 // to the input actually supplied. Seeds cover valid snapshots of both
-// task types (with and without entropy keys), LSH-enabled snapshots and
-// genuine version-1 files, plus the mutation classes the decoder must
-// reject: truncation, bit flips, and version bumps. Every input is
+// task types (with and without entropy keys), LSH-enabled snapshots,
+// genuine version-1/-2 files and a v3 file carrying a delta tail of op
+// frames, plus the mutation classes the decoder must reject (or, in the
+// tail, drop): truncation, bit flips, and version bumps. Every input is
 // decoded under a plain config and an LSH-enabled one: the v2 LSH
 // section must hold up whether its signatures are kept or discarded.
 func FuzzLoadIndex(f *testing.F) {
@@ -53,8 +54,30 @@ func FuzzLoadIndex(f *testing.F) {
 	withLSH := encodeToBytes(f, smallLSH(false))
 	cleanLSH := encodeToBytes(f, smallLSH(true))
 	v1 := encodeVersionToBytes(f, smallTestIndex(f, false), snapshotVersionV1)
+	v2 := encodeVersionToBytes(f, smallTestIndex(f, true), snapshotVersionV2)
 
-	for _, seed := range [][]byte{dirty, clean, entropy, empty, withLSH, cleanLSH, v1} {
+	// Delta seed: a base image with op frames appended (what SaveDelta
+	// writes), so mutations land in the lenient tail-replay path too —
+	// the decoder must drop a damaged tail, never panic or mis-apply.
+	deltaIdx := New(true, opLogConfig())
+	for _, p := range synthQueryProfiles(8, 2, 29) {
+		if _, _, err := deltaIdx.Upsert(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	deltaBase := encodeToBytes(f, deltaIdx)
+	for _, p := range synthQueryProfiles(12, 2, 31)[8:] {
+		if _, _, err := deltaIdx.Upsert(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	tail, _, err := deltaIdx.OpsSince(8, 1<<20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	delta := append(append([]byte(nil), deltaBase...), tail...)
+
+	for _, seed := range [][]byte{dirty, clean, entropy, empty, withLSH, cleanLSH, v1, v2, delta} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])                      // truncated
 		f.Add(seed[:len(seed)-3])                      // lost trailer

@@ -229,11 +229,11 @@ func TestDecodeRejectsCraftedLSHSections(t *testing.T) {
 		t.Fatalf("valid LSH snapshot rejected: %v", err)
 	}
 
-	// The LSH presence byte sits right after the nine header varints.
+	// The LSH presence byte sits right after the ten header varints.
 	// Locate it by decoding the prefix the same way the decoder does.
 	offset := len(snapshotMagic)
 	br := bytes.NewReader(valid[offset:])
-	for i := 0; i < 9; i++ { // version + 8 header fields
+	for i := 0; i < 10; i++ { // version + 9 header fields (seq since v3)
 		for {
 			b, err := br.ReadByte()
 			if err != nil {

@@ -366,8 +366,27 @@ func TestDecodeRejectsCorruptInput(t *testing.T) {
 	mutate("truncated trailer", func(b []byte) []byte { return b[:len(b)-2] })
 	mutate("flipped payload bit", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b })
 	mutate("flipped crc bit", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
-	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0xaa) })
 	mutate("empty input", func(b []byte) []byte { return nil })
+
+	// Bytes after the checksum: a v3 file may legitimately carry a delta
+	// tail of op frames there, so garbage is treated as a torn tail and
+	// dropped — the decode succeeds with zero ops applied. The pre-delta
+	// formats stay strict: nothing may follow their checksum.
+	garbage := append(append([]byte(nil), valid...), 0xaa)
+	y, err := Decode(bytes.NewReader(garbage), cfg)
+	if err != nil {
+		t.Fatalf("v3 trailing garbage: torn delta tail not dropped: %v", err)
+	}
+	if st, _ := y.PersistState(); st.DeltaOps != 0 {
+		t.Fatalf("v3 trailing garbage: %d ops applied from garbage tail", st.DeltaOps)
+	}
+	v2 := encodeVersionToBytes(t, smallTestIndex(t, true), snapshotVersionV2)
+	if _, err := Decode(bytes.NewReader(v2), cfg); err != nil {
+		t.Fatalf("valid v2 snapshot rejected: %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(append(v2, 0xaa)), cfg); err == nil {
+		t.Fatal("v2 trailing garbage: corrupt snapshot accepted")
+	}
 
 	// Version bump specifically surfaces as ErrSnapshotVersion so boot
 	// code can fall back to a fresh build.

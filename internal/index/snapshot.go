@@ -22,6 +22,12 @@ type Snapshot struct {
 	Upserts int64 `json:"upserts"`
 	// ReadOnly reports replica mode: the index rejects Upserts.
 	ReadOnly bool `json:"read_only"`
+	// Seq is the sequence number of the last applied write — the
+	// replication clock followers track (oplog.go).
+	Seq int64 `json:"seq"`
+	// OpLog summarises the retained op window, or nil when the op log
+	// is disabled.
+	OpLog *OpLogStats `json:"oplog,omitempty"`
 	// Persist describes the durable-snapshot state (last save / restore
 	// source), or nil when the index has never been saved or restored.
 	Persist *PersistState `json:"persist,omitempty"`
@@ -49,9 +55,14 @@ func (x *Index) Snapshot() Snapshot {
 		Queries:  x.queries.Load(),
 		Upserts:  x.upserts.Load(),
 		ReadOnly: x.readOnly.Load(),
+		Seq:      x.seq.Load(),
 	}
 	if st, ok := x.PersistState(); ok {
 		s.Persist = &st
+	}
+	if x.oplog != nil {
+		st := x.oplog.stats()
+		s.OpLog = &st
 	}
 	if x.lshOn() {
 		s.LSH = &LSHStats{

@@ -158,9 +158,11 @@ func degrade(opts *index.ResolveOptions, level int, budget time.Duration) time.D
 	return budget
 }
 
-// shed writes the 429/503 shed response: Retry-After so well-behaved
-// clients back off, JSON error body like every other error surface.
-func shedResponse(w http.ResponseWriter, status int) {
-	w.Header().Set("Retry-After", "1")
+// shed writes the 429/503 shed response: Retry-After (derived from the
+// configured shed wait — see retryAfterSeconds) so well-behaved clients
+// back off for at least as long as the server would have let them wait
+// for a slot, JSON error body like every other error surface.
+func shedResponse(w http.ResponseWriter, status int, retryAfter string) {
+	w.Header().Set("Retry-After", retryAfter)
 	httpError(w, status, errOverloaded)
 }

@@ -46,7 +46,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // handle registers an instrumented route on the mux.
-func (h *handler) handle(mux *http.ServeMux, route string, fn http.HandlerFunc) {
+func (h *Handler) handle(mux *http.ServeMux, route string, fn http.HandlerFunc) {
 	rm := &routeMetrics{route: route}
 	h.routes = append(h.routes, rm)
 	mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
@@ -79,7 +79,7 @@ type routeStatsJSON struct {
 	P99Ms     float64 `json:"p99_ms"`
 }
 
-func (h *handler) routeStats() []routeStatsJSON {
+func (h *Handler) routeStats() []routeStatsJSON {
 	out := make([]routeStatsJSON, 0, len(h.routes))
 	for _, rm := range h.routes {
 		s := rm.latency.Snapshot()
@@ -115,7 +115,7 @@ type admissionStatsJSON struct {
 	Truncated int64 `json:"truncated_queries"`
 }
 
-func (h *handler) admissionStats() admissionStatsJSON {
+func (h *Handler) admissionStats() admissionStatsJSON {
 	s := admissionStatsJSON{
 		MaxInFlight: h.gate.capacity(),
 		InFlight:    h.gate.inFlight(),
@@ -132,7 +132,7 @@ func (h *handler) admissionStats() admissionStatsJSON {
 
 // metrics serves GET /metrics: the Prometheus text exposition of the
 // index and HTTP telemetry.
-func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
@@ -140,7 +140,8 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e := obs.NewExpo(w)
 
-	snap := h.x.Snapshot()
+	x := h.Index()
+	snap := x.Snapshot()
 	e.Gauge("sparker_index_profiles", "Indexed profiles.", float64(snap.Profiles))
 	e.Gauge("sparker_index_blocks", "Live postings (distinct blocking keys).", float64(snap.Blocks))
 	e.Gauge("sparker_index_assignments", "Profile-to-posting placements.", float64(snap.Assignments))
@@ -148,6 +149,14 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Gauge("sparker_index_read_only", "1 when the index is a read-only replica.", boolGauge(snap.ReadOnly))
 	e.Counter("sparker_index_queries_total", "Queries served since construction.", float64(snap.Queries))
 	e.Counter("sparker_index_upserts_total", "Upserts applied since construction.", float64(snap.Upserts))
+	e.Gauge("sparker_index_seq", "Highest applied op sequence number.", float64(snap.Seq))
+
+	if snap.OpLog != nil {
+		e.Gauge("sparker_oplog_ops", "Op frames retained in the in-memory op log.", float64(snap.OpLog.Ops))
+		e.Gauge("sparker_oplog_bytes", "Bytes retained in the in-memory op log.", float64(snap.OpLog.Bytes))
+		e.Gauge("sparker_oplog_floor_seq", "Oldest sequence number still served by /deltas.", float64(snap.OpLog.FloorSeq))
+		e.Counter("sparker_oplog_appended_total", "Op frames appended to the op log since construction.", float64(snap.OpLog.Appended))
+	}
 
 	if snap.LSH != nil {
 		e.Gauge("sparker_lsh_buckets", "Live LSH bucket postings.", float64(snap.LSH.Buckets))
@@ -156,7 +165,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Gauge("sparker_lsh_fallback_rate", "Fraction of queries that triggered a probe.", snap.LSH.FallbackRate)
 	}
 
-	if m := h.x.Metrics(); m != nil {
+	if m := x.Metrics(); m != nil {
 		for s := 0; s < index.NumStages; s++ {
 			e.Histogram("sparker_query_stage_seconds", "Per-stage query latency.",
 				m.Stages[s].Snapshot(), 1e-9, obs.Label{Name: "stage", Value: index.Stage(s).String()})
@@ -167,8 +176,24 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Histogram("sparker_query_candidates", "Ranked candidates returned per query.", m.Candidates.Snapshot(), 1)
 		e.Histogram("sparker_resolve_comparisons", "Candidates scored per resolve.", m.Comparisons.Snapshot(), 1)
 		e.Histogram("sparker_snapshot_save_seconds", "Durable snapshot save latency.", m.Save.Snapshot(), 1e-9)
+		e.Histogram("sparker_snapshot_save_delta_seconds", "Delta snapshot append latency.", m.SaveDelta.Snapshot(), 1e-9)
 		e.Histogram("sparker_snapshot_load_seconds", "Durable snapshot restore latency.", m.Load.Snapshot(), 1e-9)
 		e.Gauge("sparker_snapshot_bytes", "Encoded size of the last snapshot.", float64(m.SnapshotBytes.Load()))
+	}
+
+	// Replication telemetry, present only on a following replica: lag is
+	// the first thing an operator checks before trusting this replica's
+	// answers, applied/resync counters tell whether the feed is healthy
+	// or thrashing through full re-bootstraps.
+	if h.follower != nil {
+		rs := h.follower.Stats()
+		e.Gauge("sparker_replication_ready", "1 once the follower has bootstrapped from its leader.", boolGauge(rs.Ready))
+		e.Gauge("sparker_replication_lag_seconds", "Seconds between the newest applied op's leader timestamp and now.", rs.LagSeconds)
+		e.Gauge("sparker_replication_applied_seq", "Highest op sequence number applied locally.", float64(rs.AppliedSeq))
+		e.Gauge("sparker_replication_leader_seq", "Highest op sequence number reported by the leader.", float64(rs.LeaderSeq))
+		e.Counter("sparker_replication_applied_ops_total", "Op frames applied from the delta feed.", float64(rs.AppliedOps))
+		e.Counter("sparker_replication_resyncs_total", "Full re-bootstraps after falling off the leader's op-log window.", float64(rs.Resyncs))
+		e.Counter("sparker_replication_errors_total", "Failed delta polls (network, decode or apply errors).", float64(rs.Errors))
 	}
 
 	// Admission gate and budget/degradation telemetry: the overload

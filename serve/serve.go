@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sparker/internal/index"
@@ -60,6 +62,12 @@ type Options struct {
 	// MaxBodyBytes caps request bodies on /query, /upsert and /bulk
 	// (413 beyond it). Zero uses DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+
+	// Follower, when non-nil, is the replication loop feeding this
+	// handler's index from a leader (see replication.go). The handler
+	// reports its lag in /stats and /metrics, and /readyz holds the
+	// replica out of rotation until the follower has bootstrapped.
+	Follower *Follower
 }
 
 // NewHandler serves an index over HTTP:
@@ -91,9 +99,18 @@ type Options struct {
 //	                      request/error counters, LSH probe rates,
 //	                      shed/degraded/truncated counters).
 //	GET  /healthz       — liveness: 200 while the process serves.
-//	GET  /readyz        — readiness: 200 while the index is up and the
-//	                      admission gate is not saturated; 503 tells a
-//	                      load balancer to drain this replica.
+//	GET  /readyz        — readiness: 200 while the index holds data and
+//	                      the admission gate is not saturated; 503 tells
+//	                      a load balancer to drain this replica. A
+//	                      read-only replica that has not yet loaded a
+//	                      snapshot (or applied a delta) answers 503 so
+//	                      traffic never routes to an empty follower.
+//	GET  /deltas        — replication feed: the op frames applied after
+//	                      ?since=<seq>, long-polling up to ?wait_ms=
+//	                      when caught up (see replication.go). Needs an
+//	                      op-log-enabled index.
+//	GET  /snapshot      — streams a full binary snapshot of the index,
+//	                      the follower bootstrap (and resync) source.
 //
 // With Options.MaxInFlight set, /query, /upsert and /bulk sit behind
 // an admission gate: over-limit requests wait at most Options.ShedWait
@@ -107,12 +124,13 @@ type Options struct {
 // Upserts against a read-only replica fail with 403. Profiles use the
 // loader's JSON-lines wire format; the "id" field is the original
 // identifier, every other field an attribute.
-func NewHandler(x *index.Index) http.Handler { return NewHandlerOptions(x, Options{}) }
+func NewHandler(x *index.Index) *Handler { return NewHandlerOptions(x, Options{}) }
 
-// NewHandlerOptions is NewHandler with the persistence, observability
-// and admission surfaces configured.
-func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
-	h := &handler{x: x, opts: opts, logger: opts.Logger}
+// NewHandlerOptions is NewHandler with the persistence, observability,
+// admission and replication surfaces configured.
+func NewHandlerOptions(x *index.Index, opts Options) *Handler {
+	h := &Handler{opts: opts, logger: opts.Logger, follower: opts.Follower}
+	h.idx.Store(x)
 	if h.logger == nil {
 		h.logger = slog.Default()
 	}
@@ -121,34 +139,70 @@ func NewHandlerOptions(x *index.Index, opts Options) http.Handler {
 	if h.maxBody <= 0 {
 		h.maxBody = DefaultMaxBodyBytes
 	}
+	h.retryAfter = retryAfterSeconds(opts.ShedWait)
 	mux := http.NewServeMux()
 	h.handle(mux, "/query", h.gated(h.query))
 	h.handle(mux, "/upsert", h.gated(h.upsert))
 	h.handle(mux, "/bulk", h.gated(h.bulk))
 	h.handle(mux, "/snapshot/save", h.snapshotSave)
+	h.handle(mux, "/snapshot", h.snapshotStream)
+	h.handle(mux, "/deltas", h.deltas)
 	h.handle(mux, "/stats", h.stats)
 	h.handle(mux, "/healthz", h.healthz)
 	h.handle(mux, "/readyz", h.readyz)
 	if !opts.NoMetrics {
 		h.handle(mux, "/metrics", h.metrics)
 	}
-	return mux
+	h.mux = mux
+	return h
 }
 
-// handler carries the index, options, admission gate and per-route
-// metrics behind the mux.
-type handler struct {
-	x       *index.Index
-	opts    Options
-	logger  *slog.Logger
-	routes  []*routeMetrics
-	gate    *admission
-	maxBody int64
+// Handler serves an index over HTTP (see NewHandler for the routes). It
+// holds the index behind an atomic pointer so a follower resync can
+// swap in a freshly bootstrapped index without a lock on the request
+// path: each request pins one index for its whole duration and the old
+// one drains naturally.
+type Handler struct {
+	idx      atomic.Pointer[index.Index]
+	opts     Options
+	logger   *slog.Logger
+	routes   []*routeMetrics
+	gate     *admission
+	maxBody  int64
+	follower *Follower
+	mux      *http.ServeMux
+	// retryAfter is the Retry-After value (whole seconds) of every shed
+	// and not-ready response, derived from Options.ShedWait: a client
+	// told to come back should wait at least as long as the server
+	// itself would have let it wait for a slot.
+	retryAfter string
 
 	// Budget/degradation accounting, exposed by /stats and /metrics.
 	degraded    obs.Counter   // queries served at a non-zero ladder level
 	truncated   obs.Counter   // responses whose budget tripped
 	budgetSpent obs.Histogram // comparisons spent per budgeted query
+}
+
+// ServeHTTP dispatches to the instrumented routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Index returns the handler's current index.
+func (h *Handler) Index() *index.Index { return h.idx.Load() }
+
+// SetIndex atomically swaps the served index — the follower resync
+// path: in-flight requests finish on the index they started with.
+func (h *Handler) SetIndex(x *index.Index) { h.idx.Store(x) }
+
+// retryAfterSeconds renders a shed wait as a whole-second Retry-After
+// value, rounding up so clients never come back before a slot could
+// have opened; the floor of 1 keeps the header meaningful when no wait
+// is configured.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // errOverloaded is the shed response body: what a client sees when the
@@ -159,11 +213,11 @@ var errOverloaded = errors.New("server overloaded, retry later")
 // shed with 429/503 + Retry-After instead of queueing. The admission
 // level rides in the request context for the query handler's
 // degradation ladder.
-func (h *handler) gated(fn http.HandlerFunc) http.HandlerFunc {
+func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, level, status := h.gate.acquire(r.Context())
 		if status != 0 {
-			shedResponse(w, status)
+			shedResponse(w, status, h.retryAfter)
 			return
 		}
 		defer release()
@@ -180,12 +234,13 @@ func admissionLevel(r *http.Request) int {
 	return level
 }
 
-func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	p, ok := h.readOneProfile(w, r)
 	if !ok {
 		return
 	}
-	opts, budget, ok := readResolveOptions(w, r, h.x, h.opts.DefaultBudget)
+	x := h.Index()
+	opts, budget, ok := readResolveOptions(w, r, x, h.opts.DefaultBudget)
 	if !ok {
 		return
 	}
@@ -200,7 +255,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	budgeted := budget > 0 || opts.Budget.MaxComparisons > 0
 
 	start := obs.Now()
-	res := h.x.ResolveWithOptions(p, opts)
+	res := x.ResolveWithOptions(p, opts)
 	elapsed := obs.Now() - start
 	if h.opts.SlowQuery > 0 && elapsed >= int64(h.opts.SlowQuery) {
 		h.logSlowQuery(p, res, elapsed)
@@ -214,7 +269,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	if budgeted {
 		h.budgetSpent.Observe(int64(res.Comparisons))
 	}
-	resp := newQueryResponse(h.x, res)
+	resp := newQueryResponse(x, res)
 	resp.Degraded = level
 	if wantDebug(r) {
 		resp.Debug = newDebugJSON(res)
@@ -222,12 +277,12 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (h *handler) upsert(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) upsert(w http.ResponseWriter, r *http.Request) {
 	p, ok := h.readOneProfile(w, r)
 	if !ok {
 		return
 	}
-	id, created, err := h.x.Upsert(*p)
+	id, created, err := h.Index().Upsert(*p)
 	if err != nil {
 		httpError(w, upsertErrorStatus(err), err)
 		return
@@ -235,13 +290,14 @@ func (h *handler) upsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"id": id, "created": created})
 }
 
-func (h *handler) bulk(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) bulk(w http.ResponseWriter, r *http.Request) {
 	ps, ok := h.readProfiles(w, r)
 	if !ok {
 		return
 	}
+	x := h.Index()
 	for _, p := range ps {
-		if _, _, err := h.x.Upsert(p); err != nil {
+		if _, _, err := x.Upsert(p); err != nil {
 			httpError(w, upsertErrorStatus(err), err)
 			return
 		}
@@ -250,7 +306,7 @@ func (h *handler) bulk(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthz is liveness: the process is up and the handler answers.
-func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
@@ -258,27 +314,39 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
-// readyz is readiness: the index is restored/built (true by
-// construction once the handler exists) and the admission gate is not
-// saturated. A load balancer drains a replica answering 503 here while
-// /healthz keeps it alive — shedding hard is a reason to stop sending
-// traffic, not to restart the process.
-func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+// readyz is readiness: the index holds data and the admission gate is
+// not saturated. A load balancer drains a replica answering 503 here
+// while /healthz keeps it alive — shedding hard is a reason to stop
+// sending traffic, not to restart the process. A read-only replica
+// that has never loaded a snapshot (and whose follower has not
+// bootstrapped) answers "empty" 503: routing traffic to it would serve
+// zero-candidate answers that look like successes.
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if x := h.Index(); x.ReadOnly() && !x.Restored() && x.Size() == 0 && (h.follower == nil || !h.follower.Ready()) {
+		h.notReady(w, map[string]any{"status": "empty", "read_only": true})
 		return
 	}
 	if h.gate.saturated() {
-		w.Header().Set("Retry-After", "1")
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]any{"status": "shedding", "in_flight": h.gate.inFlight()})
+		h.notReady(w, map[string]any{"status": "shedding", "in_flight": h.gate.inFlight()})
 		return
 	}
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
-func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
+// notReady writes the /readyz 503 with the same Retry-After a shed
+// response carries.
+func (h *Handler) notReady(w http.ResponseWriter, body map[string]any) {
+	w.Header().Set("Retry-After", h.retryAfter)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (h *Handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
@@ -291,12 +359,13 @@ func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 	// stale replica must not clobber the primary's newer snapshot.
 	// Enforced here too, not only in sparker-serve's flag wiring, so
 	// embedders of the handler get the same invariant.
-	if h.x.ReadOnly() {
+	x := h.Index()
+	if x.ReadOnly() {
 		httpError(w, http.StatusForbidden, fmt.Errorf("read-only replica does not write snapshots"))
 		return
 	}
 	start := time.Now()
-	st, err := h.x.Save(h.opts.SnapshotPath)
+	st, err := x.Save(h.opts.SnapshotPath)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -313,22 +382,28 @@ func (h *handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 // counters and admission/budget accounting the serving layer owns.
 type statsResponse struct {
 	index.Snapshot
-	HTTP      []routeStatsJSON   `json:"http"`
-	Admission admissionStatsJSON `json:"admission"`
+	HTTP        []routeStatsJSON   `json:"http"`
+	Admission   admissionStatsJSON `json:"admission"`
+	Replication *ReplicationStats  `json:"replication,omitempty"`
 }
 
-func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, statsResponse{Snapshot: h.x.Snapshot(), HTTP: h.routeStats(), Admission: h.admissionStats()})
+	resp := statsResponse{Snapshot: h.Index().Snapshot(), HTTP: h.routeStats(), Admission: h.admissionStats()}
+	if h.follower != nil {
+		st := h.follower.Stats()
+		resp.Replication = &st
+	}
+	writeJSON(w, resp)
 }
 
 // logSlowQuery emits one structured slow-query record with the
 // per-stage breakdown — enough to see where the time went without
 // re-running the query.
-func (h *handler) logSlowQuery(p *profile.Profile, res *index.Resolution, elapsedNanos int64) {
+func (h *Handler) logSlowQuery(p *profile.Profile, res *index.Resolution, elapsedNanos int64) {
 	attrs := make([]any, 0, 2*index.NumStages+14)
 	attrs = append(attrs,
 		slog.String("original_id", p.OriginalID),
@@ -529,7 +604,7 @@ func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
 }
 
 // readOneProfile parses exactly one JSON profile from a POST body.
-func (h *handler) readOneProfile(w http.ResponseWriter, r *http.Request) (*profile.Profile, bool) {
+func (h *Handler) readOneProfile(w http.ResponseWriter, r *http.Request) (*profile.Profile, bool) {
 	ps, ok := h.readProfiles(w, r)
 	if !ok {
 		return nil, false
@@ -544,8 +619,8 @@ func (h *handler) readOneProfile(w http.ResponseWriter, r *http.Request) (*profi
 // readProfiles parses a JSON-lines POST body, applying the ?source
 // param. The body is bounded by Options.MaxBodyBytes — one huge upload
 // answers 413, it does not balloon the heap.
-func (h *handler) readProfiles(w http.ResponseWriter, r *http.Request) ([]profile.Profile, bool) {
-	x := h.x
+func (h *Handler) readProfiles(w http.ResponseWriter, r *http.Request) ([]profile.Profile, bool) {
+	x := h.Index()
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return nil, false

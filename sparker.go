@@ -289,7 +289,32 @@ var (
 	// ErrIndexSnapshotVersion marks a snapshot file written by an
 	// incompatible format version.
 	ErrIndexSnapshotVersion = index.ErrSnapshotVersion
+	// ErrIndexOpLogGap is returned by Index.OpsSince when the requested
+	// position has been evicted from the op log's retention window: the
+	// consumer must restart from a full snapshot.
+	ErrIndexOpLogGap = index.ErrOpLogGap
+	// ErrIndexOpLogDisabled is returned by the op-log surface when the
+	// index was built without IndexOpLogConfig.Enabled.
+	ErrIndexOpLogDisabled = index.ErrOpLogDisabled
 )
+
+type (
+	// IndexOpLogConfig enables and bounds the in-memory op log
+	// (IndexConfig.OpLog): the source of delta snapshots
+	// (SaveIndexDelta) and of the replication feed (Index.OpsSince /
+	// Index.ApplyOps).
+	IndexOpLogConfig = index.OpLogConfig
+	// IndexOpLogStats summarises the op log in IndexSnapshot.
+	IndexOpLogStats = index.OpLogStats
+)
+
+// SaveIndexDelta appends the ops applied since the last save to the
+// snapshot at path — persistence cost proportional to the write rate,
+// not the index size. It falls back to a full save whenever appending
+// would be unsafe (no previous save at this path, a file that changed
+// underneath, ops already evicted from the op log). A full SaveIndex
+// compacts the file back to a pure snapshot.
+func SaveIndexDelta(x *Index, path string) (IndexPersistState, error) { return x.SaveDelta(path) }
 
 // SaveIndex writes a durable snapshot of the index to path, atomically
 // (temp file + rename): a crash mid-save never corrupts a previous
