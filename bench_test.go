@@ -669,6 +669,47 @@ func BenchmarkIndexLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAppend times the durable-upsert path — tokenize, frame,
+// append to the on-disk op log, apply — under each fsync policy. The
+// spread between never/interval and always is the price of zero data
+// loss on power failure: one disk sync per acknowledged write.
+func BenchmarkWALAppend(b *testing.B) {
+	c := indexBenchCollection(b)
+	for _, bench := range []struct {
+		name string
+		sync index.WALSyncPolicy
+	}{
+		{"never", index.WALSyncNever},
+		{"interval", index.WALSyncInterval},
+		{"always", index.WALSyncAlways},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := index.DefaultConfig()
+			cfg.OpLog.Enabled = true
+			idx, err := index.NewFromCollection(c, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := idx.OpenWAL(index.WALConfig{Dir: b.TempDir(), Sync: bench.sync}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Replacement upserts: constant index size, one WAL
+				// frame per iteration.
+				if _, _, err := idx.Upsert(c.Profiles[i%c.Size()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := idx.CloseWAL(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func benchName(prefix string, n int) string {
 	digits := ""
 	if n == 0 {

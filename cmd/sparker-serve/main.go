@@ -56,6 +56,18 @@
 //	sparker-serve -generate -addr :8080                  # leader
 //	sparker-serve -follow http://localhost:8080 -addr :8081
 //
+// Durability: with -oplog-dir every op is appended to a CRC-framed,
+// rotating on-disk segment file *before* it mutates the index
+// (-oplog-fsync picks the always/interval/never fsync policy,
+// -oplog-segment-bytes the rotation size). After a crash — kill -9
+// included — the next boot restores the newest snapshot, replays the
+// log tail past it, truncates a torn or bit-flipped tail at the last
+// good frame, and repopulates the in-memory delta window, so followers
+// catch up over /deltas without a re-bootstrap. Full snapshots prune
+// segments the snapshot already covers.
+//
+//	sparker-serve -generate -snapshot idx.snap -oplog-dir ./oplog -oplog-fsync always
+//
 // Overload behavior: with -max-inflight the resolution routes sit
 // behind an admission gate — beyond the cap a request waits at most
 // -shed-wait for a slot and is then shed with 429/503 + Retry-After,
@@ -132,6 +144,10 @@ func run() error {
 		follow      = flag.String("follow", "", "replicate from this leader URL: bootstrap via GET /snapshot, tail GET /deltas, serve read-only")
 		oplogRetain = flag.Int("oplog-retain", 0, "op frames retained in memory for /deltas and delta saves (0: default window)")
 
+		oplogDir      = flag.String("oplog-dir", "", "durable op-log directory: append every op to rotating segment files before applying it, replay the tail at boot (crash-safe restart)")
+		oplogFsync    = flag.String("oplog-fsync", "interval", "op-log fsync policy: always (fsync per append), interval (background flush), never (OS page cache only)")
+		oplogSegBytes = flag.Int64("oplog-segment-bytes", 0, "rotate op-log segments at this size (0: default 16 MiB)")
+
 		metrics   = flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
 		pprofAddr = flag.String("pprof", "", "also serve net/http/pprof on this address (empty disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
@@ -173,6 +189,23 @@ func run() error {
 		if *fileA != "" || *fileB != "" || *dirty != "" || *generate {
 			return fmt.Errorf("-follow bootstraps from the leader; drop -a/-b/-dirty/-generate")
 		}
+		// A follower swaps its whole index on re-bootstrap, which would
+		// orphan an attached WAL mid-flight; its durability is the
+		// leader's job.
+		if *oplogDir != "" {
+			return fmt.Errorf("-oplog-dir is a leader-side durability flag; a -follow replica replays the leader's log instead")
+		}
+	}
+	var walCfg index.WALConfig
+	if *oplogDir != "" {
+		syncPolicy, err := index.ParseWALSyncPolicy(*oplogFsync)
+		if err != nil {
+			return err
+		}
+		if *oplogSegBytes < 0 {
+			return fmt.Errorf("-oplog-segment-bytes must be non-negative, got %d", *oplogSegBytes)
+		}
+		walCfg = index.WALConfig{Dir: *oplogDir, Sync: syncPolicy, SegmentBytes: *oplogSegBytes}
 	}
 	// A follower never writes; -read-only covers the shared-snapshot
 	// replica mode.
@@ -306,6 +339,27 @@ func run() error {
 	if *readOnly {
 		idx.SetReadOnly(true)
 		logger.Info("read-only replica mode: upserts rejected")
+	}
+
+	// Attach the durable op log after the snapshot restore: recovery
+	// replays only the segment tail past the restored sequence number,
+	// repopulating the in-memory window so followers resume from
+	// /deltas without a re-bootstrap. From here every op hits disk
+	// before it mutates the index.
+	if *oplogDir != "" {
+		rec, err := idx.OpenWAL(walCfg)
+		if err != nil {
+			return fmt.Errorf("op-log recovery: %w", err)
+		}
+		logger.Info("op log attached",
+			"dir", *oplogDir,
+			"fsync", walCfg.Sync.String(),
+			"segments", rec.Segments,
+			"replayed_ops", rec.Replayed,
+			"skipped_ops", rec.SkippedOps,
+			"truncated_bytes", rec.TruncatedBytes,
+			"dropped_segments", rec.DroppedSegments,
+			"seq", idx.Seq())
 	}
 
 	// A read-only replica consumes the snapshot file, never produces it:
@@ -461,6 +515,13 @@ func run() error {
 		}
 		saveLoop.Wait()
 		save("shutdown")
+		// After the final save so a full snapshot prunes now-covered
+		// segments; close syncs whatever the flush policy left pending.
+		if idx.WALEnabled() {
+			if err := idx.CloseWAL(); err != nil {
+				logger.Error("op log close failed", "err", err)
+			}
+		}
 		return nil
 	}
 }

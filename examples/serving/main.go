@@ -5,7 +5,9 @@
 // sections are the operational walkthroughs: snapshot the index to
 // disk, tear the process down, and warm-restart a new server from the
 // file without re-indexing; then replicate a leader to a read-only
-// follower over HTTP and kill the leader mid-stream.
+// follower over HTTP and kill the leader mid-stream; finally attach
+// the durable write-ahead log, SIGKILL the leader mid-traffic, and
+// restart it with its followers never re-bootstrapping.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"sparker"
@@ -349,4 +352,88 @@ func main() {
 	afterKill := ask(followerSrv.URL)
 	fmt.Printf("after leader death: follower still answers identically: %v (seq %d)\n",
 		bytes.Equal(leaderAnswer, afterKill), followerH.Index().Seq())
+
+	// 8. Durability: the leader above kept its op log only in memory, so
+	// a real crash would evict the window and force every follower
+	// through a full re-bootstrap. A leader started with `-oplog-dir`
+	// also appends each op to an on-disk segment file *before* applying
+	// it (the write-ahead log); this walkthrough is the SIGKILL version
+	// of section 5 — kill -9, so nothing gets to say goodbye.
+	walDir := filepath.Join(dir, "oplog")
+	durIdx, err := sparker.NewIndex(collection, leaderCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// fsync-always: every append reaches stable storage before the op
+	// is acknowledged, so even a power cut loses nothing.
+	walCfg := sparker.IndexWALConfig{Dir: walDir, Sync: sparker.WALSyncAlways}
+	if _, err := durIdx.OpenWAL(walCfg); err != nil {
+		log.Fatal(err)
+	}
+	durSnap := filepath.Join(dir, "durable.snap")
+	if _, err := sparker.SaveIndex(durIdx, durSnap); err != nil {
+		log.Fatal(err)
+	}
+
+	// A stable URL across the "restart": the handler behind the listener
+	// is swappable, standing in for a port that outlives the process.
+	var front atomic.Pointer[serve.Handler]
+	front.Store(serve.NewHandlerOptions(durIdx, serve.Options{}))
+	frontSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		front.Load().ServeHTTP(w, r)
+	}))
+	defer frontSrv.Close()
+
+	tail := serve.NewFollower(frontSrv.URL, leaderCfg, serve.FollowerOptions{
+		PollWait: 100 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+	})
+	tailIdx, err := tail.Bootstrap(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tailH := serve.NewHandlerOptions(tailIdx, serve.Options{Follower: tail})
+	tailCtx, cancelTail := context.WithCancel(context.Background())
+	defer cancelTail()
+	go func() { _ = tail.Run(tailCtx, tailH) }()
+
+	// Mid-traffic writes land on disk and replicate...
+	postTo(frontSrv.URL, "/upsert?source=1", `{"id": "b7", "title": "Acme QuietCool fan mk2"}`)
+	postTo(frontSrv.URL, "/upsert?source=1", `{"id": "b8", "title": "Zenix SoundWave mini speaker"}`)
+	for tailH.Index().Seq() < durIdx.Seq() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	deadSeq := durIdx.Seq()
+
+	// ...then kill -9: abandon the index without CloseWAL. No final
+	// flush, no final snapshot — only the segments already on disk.
+	durIdx = nil
+
+	// Restart: restore the snapshot, then replay the log tail past it.
+	// Recovery also re-retains the replayed frames in the in-memory
+	// window, so the follower's next /deltas poll is answered from
+	// before the crash — no 410, no re-bootstrap.
+	recovered, err := sparker.LoadIndex(durSnap, leaderCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := recovered.OpenWAL(walCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after kill -9: replayed %d op(s) from the log, seq %d (pre-kill %d)\n",
+		rec.Replayed, recovered.Seq(), deadSeq)
+	front.Store(serve.NewHandlerOptions(recovered, serve.Options{}))
+
+	// The follower keeps tailing across the restart as if nothing
+	// happened: new writes flow, the resync counter stays at zero.
+	postTo(frontSrv.URL, "/upsert?source=1", `{"id": "b9", "title": "Luxor floor lamp"}`)
+	for tailH.Index().Seq() < recovered.Seq() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("follower caught up at seq %d with %d resync(s)\n",
+		tail.Stats().AppliedSeq, tail.Stats().Resyncs)
+	if err := recovered.CloseWAL(); err != nil {
+		log.Fatal(err)
+	}
 }

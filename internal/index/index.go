@@ -247,6 +247,10 @@ type Index struct {
 	// oplog retains recent op frames for delta saves and follower
 	// streaming (nil unless Config.OpLog.Enabled).
 	oplog *opLog
+	// wal is the durable half of the op log (wal.go): frames are
+	// appended to disk segments before the in-memory structures are
+	// touched. Nil until OpenWAL attaches it; guarded by writeMu.
+	wal *wal
 
 	// lsh is the probe subsystem (nil when disabled); numBuckets counts
 	// live bucket postings (kept apart from numBlocks, which the ECBS
@@ -391,6 +395,15 @@ func (x *Index) Upsert(p profile.Profile) (profile.ID, bool, error) {
 	if x.oplog != nil {
 		var err error
 		if rec, err = x.nextOpFrame(&p); err != nil {
+			return 0, false, err
+		}
+	}
+	// Write-ahead: the frame reaches the durable log before any
+	// in-memory structure changes, so an append failure aborts the
+	// upsert with the index untouched and a crash after this point
+	// still replays the op at the next boot.
+	if x.wal != nil {
+		if err := x.wal.append(rec.seq, rec.frame); err != nil {
 			return 0, false, err
 		}
 	}

@@ -81,6 +81,10 @@ type Metrics struct {
 	Save      obs.Histogram
 	SaveDelta obs.Histogram
 	Load      obs.Histogram
+	// WALAppend times one durable-log append (frame write plus, under
+	// WALSyncAlways, its fsync) — the write-path latency the fsync
+	// policy choice trades against durability (wal.go).
+	WALAppend obs.Histogram
 	// Comparisons counts candidates actually scored per Resolve — the
 	// per-query matcher work the comparison-budget work needs to see.
 	Comparisons obs.Histogram
@@ -110,7 +114,7 @@ type TimingStats struct {
 // stages first, then the operation-level totals. The row set is fixed
 // so the JSON shape is stable from the first scrape.
 func (m *Metrics) timingRows() []TimingStats {
-	rows := make([]TimingStats, 0, NumStages+6)
+	rows := make([]TimingStats, 0, NumStages+7)
 	for s := Stage(0); int(s) < NumStages; s++ {
 		rows = append(rows, timingRow(s.String(), &m.Stages[s]))
 	}
@@ -121,6 +125,7 @@ func (m *Metrics) timingRows() []TimingStats {
 		timingRow("snapshot_save", &m.Save),
 		timingRow("snapshot_save_delta", &m.SaveDelta),
 		timingRow("snapshot_load", &m.Load),
+		timingRow("wal_append", &m.WALAppend),
 	)
 	return rows
 }

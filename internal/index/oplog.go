@@ -276,6 +276,25 @@ func (x *Index) OpsSince(since int64, maxBytes int) (frames []byte, seq int64, e
 	return frames, cur, nil
 }
 
+// frameOf rebuilds the complete on-disk/wire frame of one validated
+// payload (length prefix, payload, CRC).
+func frameOf(payload []byte) []byte {
+	frame := make([]byte, 0, opFrameOverhead+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+}
+
+// newestSeq returns the newest retained sequence (ok=false when empty).
+func (l *opLog) newestSeq() (int64, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.recs) == 0 {
+		return 0, false
+	}
+	return l.recs[len(l.recs)-1].seq, true
+}
+
 // appendOpString appends a uvarint length-prefixed string.
 func appendOpString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
@@ -473,13 +492,28 @@ func (x *Index) applyOpLocked(o op, payload []byte) error {
 	if want := x.seq.Load() + 1; o.seq != want {
 		return fmt.Errorf("op seq %d does not follow %d", o.seq, want-1)
 	}
-	if oldID, ok := x.lookupOrig(origKey(&o.p)); ok {
+	oldID, replacing := x.lookupOrig(origKey(&o.p))
+	if replacing {
 		if oldID != o.p.ID {
 			return fmt.Errorf("op replaces profile %d, replica holds it as %d", o.p.ID, oldID)
 		}
-		x.removeLocked(oldID)
 	} else if o.p.ID != x.nextID {
 		return fmt.Errorf("op assigns ID %d, replica would assign %d", o.p.ID, x.nextID)
+	}
+	// Write-ahead, as in Upsert: the frame is durable before anything
+	// mutates (recovery replays with x.wal unset, so frames being read
+	// back from disk are not re-appended).
+	var frame []byte
+	if x.wal != nil || x.oplog != nil {
+		frame = frameOf(payload)
+	}
+	if x.wal != nil {
+		if err := x.wal.append(o.seq, frame); err != nil {
+			return err
+		}
+	}
+	if replacing {
+		x.removeLocked(oldID)
 	}
 	x.putLocked(o.p)
 	if o.p.ID >= x.nextID {
@@ -488,10 +522,6 @@ func (x *Index) applyOpLocked(o op, payload []byte) error {
 	x.upserts.Add(1)
 	x.seq.Store(o.seq)
 	if x.oplog != nil {
-		frame := make([]byte, 0, opFrameOverhead+len(payload))
-		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-		frame = append(frame, payload...)
-		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
 		x.oplog.append(opRec{seq: o.seq, tstamp: o.tstamp, frame: frame})
 	}
 	return nil

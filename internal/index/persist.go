@@ -230,7 +230,21 @@ func (x *Index) saveFullLocked(path string) (PersistState, error) {
 	x.persistMu.Lock()
 	x.persist = st
 	x.persistMu.Unlock()
+	// The snapshot now covers everything up to seq; WAL segments whose
+	// frames are all at or below it are no longer needed for recovery.
+	if w := x.walRef(); w != nil {
+		w.prune(seq)
+	}
 	return st, nil
+}
+
+// walRef reads the attached WAL under the writer lock (OpenWAL/CloseWAL
+// swap it there).
+func (x *Index) walRef() *wal {
+	x.writeMu.Lock()
+	w := x.wal
+	x.writeMu.Unlock()
+	return w
 }
 
 // SaveDelta appends the op frames applied since the file's last save to
@@ -311,6 +325,11 @@ func (x *Index) SaveDelta(path string) (PersistState, error) {
 	x.persistMu.Lock()
 	x.persist = st
 	x.persistMu.Unlock()
+	// The snapshot file (base image + delta tail) now covers st.Seq, so
+	// retention can release WAL segments at or below it.
+	if w := x.walRef(); w != nil {
+		w.prune(st.Seq)
+	}
 	if m := x.metrics; m != nil {
 		m.SaveDelta.Observe(obs.Now() - saveStart)
 		m.SnapshotBytes.Store(st.Bytes)

@@ -28,6 +28,9 @@ type Snapshot struct {
 	// OpLog summarises the retained op window, or nil when the op log
 	// is disabled.
 	OpLog *OpLogStats `json:"oplog,omitempty"`
+	// WAL summarises the durable op log, or nil when none is attached
+	// (wal.go).
+	WAL *WALStats `json:"wal,omitempty"`
 	// Persist describes the durable-snapshot state (last save / restore
 	// source), or nil when the index has never been saved or restored.
 	Persist *PersistState `json:"persist,omitempty"`
@@ -63,6 +66,10 @@ func (x *Index) Snapshot() Snapshot {
 	if x.oplog != nil {
 		st := x.oplog.stats()
 		s.OpLog = &st
+	}
+	if x.wal != nil {
+		st := x.wal.stats()
+		s.WAL = &st
 	}
 	if x.lshOn() {
 		s.LSH = &LSHStats{

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALRecovery feeds arbitrary bytes to the WAL segment scanner as a
+// crash-damaged log. The contract: recovery never panics — it either
+// replays a valid prefix (truncating the garbage tail in place, so a
+// second recovery of the same directory converges to the same state) or
+// returns an error (sequence gap, frames contradicting the index).
+// Seeds cover a genuine segment, truncated and bit-flipped tails (the
+// two crash artifacts), a segment starting past seq 1 (gap), and noise.
+func FuzzWALRecovery(f *testing.F) {
+	src := New(true, opLogConfig())
+	for _, p := range synthQueryProfiles(10, 2, 37) {
+		if _, _, err := src.Upsert(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid, _, err := src.OpsSince(0, 1<<20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gapped, _, err := src.OpsSince(4, 1<<20) // starts at seq 5: a gap for a fresh index
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...)) // mid-frame truncation
+	f.Add(append([]byte(nil), valid[:len(valid)-3]...)) // lost CRC tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Add(append([]byte(nil), gapped...))
+	f.Add([]byte("not a segment at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "00000001.seg"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		x := New(true, opLogConfig())
+		if _, err := x.OpenWAL(walConfig(dir)); err != nil {
+			return // rejected cleanly (gap, contradiction) — fine
+		}
+		// Recovered: the index must hold together under use, and the
+		// truncated-in-place log must recover a second time to the same
+		// sequence (the last good frame is stable).
+		s := x.Snapshot()
+		if s.Profiles != x.Size() {
+			t.Fatalf("snapshot profiles %d != size %d", s.Profiles, x.Size())
+		}
+		q := mkProfile("probe", "name", "alpha shared0 tok1")
+		x.Query(&q)
+		if _, _, err := x.Upsert(mkProfile("fresh", "name", "post fuzz upsert")); err != nil {
+			t.Fatalf("upsert on recovered index: %v", err)
+		}
+		seq := x.Seq()
+		if err := x.CloseWAL(); err != nil {
+			t.Fatal(err)
+		}
+		y := New(true, opLogConfig())
+		if _, err := y.OpenWAL(walConfig(dir)); err != nil {
+			t.Fatalf("second recovery: %v", err)
+		}
+		if y.Seq() != seq {
+			t.Fatalf("second recovery seq %d != first %d", y.Seq(), seq)
+		}
+	})
+}

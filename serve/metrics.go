@@ -158,6 +158,17 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Counter("sparker_oplog_appended_total", "Op frames appended to the op log since construction.", float64(snap.OpLog.Appended))
 	}
 
+	if snap.WAL != nil {
+		e.Gauge("sparker_wal_segments", "On-disk WAL segment files (active included).", float64(snap.WAL.Segments))
+		e.Gauge("sparker_wal_bytes", "Bytes across all WAL segments.", float64(snap.WAL.Bytes))
+		e.Gauge("sparker_wal_first_seq", "Oldest sequence number retained in the WAL.", float64(snap.WAL.FirstSeq))
+		e.Gauge("sparker_wal_last_seq", "Newest sequence number appended to the WAL.", float64(snap.WAL.LastSeq))
+		e.Counter("sparker_wal_appends_total", "Op frames appended to the WAL since open.", float64(snap.WAL.Appended))
+		e.Counter("sparker_wal_syncs_total", "fsyncs issued by the WAL (policy, rotation and close).", float64(snap.WAL.Syncs))
+		e.Counter("sparker_wal_rotations_total", "WAL segment rotations.", float64(snap.WAL.Rotations))
+		e.Counter("sparker_wal_pruned_segments_total", "WAL segments deleted by snapshot-bounded retention.", float64(snap.WAL.PrunedSegments))
+	}
+
 	if snap.LSH != nil {
 		e.Gauge("sparker_lsh_buckets", "Live LSH bucket postings.", float64(snap.LSH.Buckets))
 		e.Counter("sparker_lsh_probes_total", "Queries that ran an LSH probe.", float64(snap.LSH.Probes))
@@ -178,6 +189,7 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Histogram("sparker_snapshot_save_seconds", "Durable snapshot save latency.", m.Save.Snapshot(), 1e-9)
 		e.Histogram("sparker_snapshot_save_delta_seconds", "Delta snapshot append latency.", m.SaveDelta.Snapshot(), 1e-9)
 		e.Histogram("sparker_snapshot_load_seconds", "Durable snapshot restore latency.", m.Load.Snapshot(), 1e-9)
+		e.Histogram("sparker_wal_append_seconds", "Durable op-log append latency (including fsync under the always policy).", m.WALAppend.Snapshot(), 1e-9)
 		e.Gauge("sparker_snapshot_bytes", "Encoded size of the last snapshot.", float64(m.SnapshotBytes.Load()))
 	}
 

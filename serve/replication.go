@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -169,9 +170,15 @@ type FollowerOptions struct {
 	// PollWait is the long-poll wait advertised to the leader via
 	// ?wait_ms=. Zero defaults to 25s (under the leader's cap).
 	PollWait time.Duration
-	// Interval paces the loop when a poll fails or returns without a
-	// long-poll — the error-backoff floor. Zero defaults to 500ms.
+	// Interval is the error-backoff floor: the first sleep after a
+	// failed poll. Consecutive failures double it (with jitter) up to
+	// MaxBackoff; any success resets it. Zero defaults to 500ms.
 	Interval time.Duration
+	// MaxBackoff caps the exponential error backoff, so a long leader
+	// outage settles into a slow steady probe instead of either
+	// hammering a dead endpoint or backing off into uselessness. Zero
+	// defaults to 15s.
+	MaxBackoff time.Duration
 	// Logger receives replication warnings. Nil uses slog.Default().
 	Logger *slog.Logger
 }
@@ -181,12 +188,13 @@ type FollowerOptions struct {
 // NewFollower, call Bootstrap to obtain the initial index, hand both
 // to the handler (Options.Follower) and run the loop with Run.
 type Follower struct {
-	leader   string
-	cfg      index.Config
-	client   *http.Client
-	pollWait time.Duration
-	interval time.Duration
-	logger   *slog.Logger
+	leader     string
+	cfg        index.Config
+	client     *http.Client
+	pollWait   time.Duration
+	interval   time.Duration
+	maxBackoff time.Duration
+	logger     *slog.Logger
 
 	ready      atomic.Bool
 	appliedSeq atomic.Int64
@@ -195,7 +203,10 @@ type Follower struct {
 	appliedOps atomic.Int64
 	resyncs    atomic.Int64
 	errs       atomic.Int64
-	lastErr    atomic.Value // string
+	lastErr    atomic.Value // string; cleared ("") by the next success
+	// backoff is the current error-backoff target (0 when healthy) —
+	// written by the Run loop, read by Stats.
+	backoff atomic.Int64 // nanoseconds
 }
 
 // NewFollower prepares a replication loop against the leader's base
@@ -204,12 +215,13 @@ type Follower struct {
 // feed further replicas in a chain.
 func NewFollower(leaderURL string, cfg index.Config, opts FollowerOptions) *Follower {
 	f := &Follower{
-		leader:   strings.TrimRight(leaderURL, "/"),
-		cfg:      cfg,
-		client:   opts.Client,
-		pollWait: opts.PollWait,
-		interval: opts.Interval,
-		logger:   opts.Logger,
+		leader:     strings.TrimRight(leaderURL, "/"),
+		cfg:        cfg,
+		client:     opts.Client,
+		pollWait:   opts.PollWait,
+		interval:   opts.Interval,
+		maxBackoff: opts.MaxBackoff,
+		logger:     opts.Logger,
 	}
 	if f.client == nil {
 		f.client = &http.Client{}
@@ -219,6 +231,12 @@ func NewFollower(leaderURL string, cfg index.Config, opts FollowerOptions) *Foll
 	}
 	if f.interval <= 0 {
 		f.interval = 500 * time.Millisecond
+	}
+	if f.maxBackoff <= 0 {
+		f.maxBackoff = 15 * time.Second
+	}
+	if f.maxBackoff < f.interval {
+		f.maxBackoff = f.interval
 	}
 	if f.logger == nil {
 		f.logger = slog.Default()
@@ -238,6 +256,10 @@ type ReplicationStats struct {
 	Resyncs    int64   `json:"resyncs"`
 	Errors     int64   `json:"errors"`
 	LastError  string  `json:"last_error,omitempty"`
+	// BackoffSeconds is the current error-backoff target: zero on a
+	// healthy replica, climbing toward MaxBackoff while the leader is
+	// unreachable.
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
 }
 
 // Ready reports whether the follower has completed a bootstrap — the
@@ -261,6 +283,7 @@ func (f *Follower) Stats() ReplicationStats {
 	if s, ok := f.lastErr.Load().(string); ok {
 		st.LastError = s
 	}
+	st.BackoffSeconds = time.Duration(f.backoff.Load()).Seconds()
 	if st.LeaderSeq > st.AppliedSeq {
 		if stamp := f.lastStamp.Load(); stamp > 0 {
 			st.LagSeconds = time.Since(time.Unix(0, stamp)).Seconds()
@@ -303,8 +326,12 @@ var errResync = errors.New("position expired from leader op log")
 // Run polls the leader's delta feed until ctx is cancelled, applying
 // each batch to the handler's current index. A 410 from the leader
 // triggers a full re-bootstrap and swaps the fresh index into the
-// handler atomically. Run returns ctx.Err() on cancellation.
+// handler atomically. Errors pace the loop with capped exponential
+// backoff plus jitter — a dead leader is not hammered, and a returning
+// one sees its followers trickle back instead of stampeding — reset by
+// the first success. Run returns ctx.Err() on cancellation.
 func (f *Follower) Run(ctx context.Context, h *Handler) error {
+	var backoff time.Duration
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -314,6 +341,7 @@ func (f *Follower) Run(ctx context.Context, h *Handler) error {
 		case err == nil:
 			// Progress or a clean long-poll expiry: poll again at once —
 			// the leader's long-poll provides the pacing.
+			f.markHealthy(&backoff)
 			continue
 		case errors.Is(err, errResync):
 			f.resyncs.Add(1)
@@ -323,18 +351,54 @@ func (f *Follower) Run(ctx context.Context, h *Handler) error {
 				f.recordError(berr)
 			} else {
 				h.SetIndex(x)
+				f.markHealthy(&backoff)
+				continue
 			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			return ctx.Err()
 		default:
 			f.recordError(err)
 		}
+		backoff = nextBackoff(backoff, f.interval, f.maxBackoff)
+		f.backoff.Store(int64(backoff))
 		select {
-		case <-time.After(f.interval):
+		case <-time.After(jitteredBackoff(backoff)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
+}
+
+// markHealthy resets the error backoff and clears the stale last_error
+// so /stats on a recovered replica stops reporting an old failure.
+func (f *Follower) markHealthy(backoff *time.Duration) {
+	*backoff = 0
+	f.backoff.Store(0)
+	f.lastErr.Store("")
+}
+
+// nextBackoff doubles the previous backoff, starting at base and
+// saturating at max.
+func nextBackoff(cur, base, max time.Duration) time.Duration {
+	if cur <= 0 {
+		return base
+	}
+	cur *= 2
+	if cur > max || cur < 0 { // < 0: overflow
+		return max
+	}
+	return cur
+}
+
+// jitteredBackoff spreads a sleep uniformly over [d/2, d) ("equal
+// jitter"), decorrelating a fleet of followers that all lost the same
+// leader at the same instant.
+func jitteredBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)))
 }
 
 // poll issues one /deltas request from the index's current position

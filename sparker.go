@@ -306,7 +306,40 @@ type (
 	IndexOpLogConfig = index.OpLogConfig
 	// IndexOpLogStats summarises the op log in IndexSnapshot.
 	IndexOpLogStats = index.OpLogStats
+	// IndexWALConfig configures the durable on-disk op log
+	// (Index.OpenWAL): rotating CRC-framed segment files every op is
+	// appended to before it mutates the index, replayed at boot for a
+	// crash-safe restart.
+	IndexWALConfig = index.WALConfig
+	// IndexWALSyncPolicy picks when WAL appends reach stable storage.
+	IndexWALSyncPolicy = index.WALSyncPolicy
+	// IndexWALRecovery reports what Index.OpenWAL found on disk:
+	// segments scanned, ops replayed or skipped, bytes truncated off a
+	// torn tail, damaged segments dropped.
+	IndexWALRecovery = index.WALRecovery
+	// IndexWALStats summarises the attached WAL in IndexSnapshot.
+	IndexWALStats = index.WALStats
 )
+
+// WAL fsync policies (IndexWALConfig.Sync).
+const (
+	// WALSyncInterval flushes appends from a background loop every
+	// IndexWALConfig.SyncInterval (default): bounded data loss, near
+	// in-memory append latency.
+	WALSyncInterval = index.WALSyncInterval
+	// WALSyncAlways fsyncs every append before it is applied: zero data
+	// loss on power failure, one disk sync per write.
+	WALSyncAlways = index.WALSyncAlways
+	// WALSyncNever leaves flushing to the OS page cache (and to a clean
+	// close): crash-safe against process death, not against power loss.
+	WALSyncNever = index.WALSyncNever
+)
+
+// ParseWALSyncPolicy parses "always", "interval" (or "") and "never" —
+// the flag/wire form of a WAL fsync policy.
+func ParseWALSyncPolicy(s string) (IndexWALSyncPolicy, error) {
+	return index.ParseWALSyncPolicy(s)
+}
 
 // SaveIndexDelta appends the ops applied since the last save to the
 // snapshot at path — persistence cost proportional to the write rate,
