@@ -15,9 +15,12 @@
 //
 //	sparker-serve -generate
 //
-// Endpoints: POST /query, POST /upsert, POST /bulk (JSON-lines bodies,
-// "id" field plus attributes; ?source=1 targets the second clean source),
-// POST /snapshot/save, GET /stats.
+// Endpoints (versioned under /v1/, with the historical unversioned
+// paths kept as aliases): POST /v1/query, POST /v1/upsert, POST
+// /v1/bulk (JSON-lines bodies, "id" field plus attributes; ?source=1
+// targets the second clean source), POST /v1/snapshot/save, GET
+// /v1/stats. Every 4xx/5xx answers the typed JSON error envelope
+// {"error": {"code", "message"}}.
 //
 // With -lsh fallback (or union) the index also maintains MinHash/LSH
 // bucket postings beside the token postings: queries whose tokens are
@@ -55,6 +58,20 @@
 //
 //	sparker-serve -generate -addr :8080                  # leader
 //	sparker-serve -follow http://localhost:8080 -addr :8081
+//
+// Cluster mode: -shards (a comma-separated list of shard base URLs)
+// turns the process into a scatter-gather coordinator instead of an
+// index server. Upserts route to one shard by hash of the profile's
+// original ID, queries fan out to every shard with a split budget and
+// merge deterministically, and a dead shard degrades answers (the
+// surviving shards' merged results, marked "degraded") rather than
+// failing them. Shard health is probed via /readyz; the coordinator's
+// own /readyz drains only when no shard is left. -index-shards (the
+// per-process index shard count) is unrelated to cluster mode.
+//
+//	sparker-serve -addr :8081 &                 # shard 0
+//	sparker-serve -addr :8082 &                 # shard 1
+//	sparker-serve -shards http://localhost:8081,http://localhost:8082 -addr :8080
 //
 // Durability: with -oplog-dir every op is appended to a CRC-framed,
 // rotating on-disk segment file *before* it mutates the index
@@ -106,6 +123,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -157,12 +175,17 @@ func run() error {
 		defaultBudget = flag.Duration("default-budget-ms", 0, "per-query wall-clock budget applied when the request carries no ?budget_ms= (0 = unlimited); accepts any duration, e.g. 50ms")
 		maxBody       = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes on /query, /upsert and /bulk (413 beyond it)")
 
-		shards    = flag.Int("shards", 16, "index shard count (a restored snapshot keeps its saved count)")
-		scheme    = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
-		prune     = flag.String("prune", "top-k", "candidate pruning rule (mean, top-k, none)")
-		topK      = flag.Int("k", 10, "candidates kept by top-k pruning")
-		measure   = flag.String("measure", "jaccard", "match measure (jaccard, dice)")
-		threshold = flag.Float64("threshold", 0.3, "match threshold (negative keeps every scored candidate)")
+		shardURLs   = flag.String("shards", "", "coordinator mode: comma-separated shard base URLs (e.g. http://s0:8081,http://s1:8082); scatter-gathers queries and hash-routes writes instead of serving an index")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "coordinator mode: shard /readyz health-probe cadence")
+		indexShards = flag.Int("index-shards", 16, "index shard count (a restored snapshot keeps its saved count)")
+		scheme      = flag.String("scheme", "CBS", "candidate weight scheme (CBS, ECBS, JS, ARCS)")
+		prune       = flag.String("prune", "top-k", "candidate pruning rule (mean, top-k, none)")
+		topK        = flag.Int("k", 10, "candidates kept by top-k pruning")
+		measure     = flag.String("measure", "jaccard", "match measure (jaccard, dice)")
+		threshold   = flag.Float64("threshold", 0.3, "match threshold (negative keeps every scored candidate)")
+
+		filterRatio  = flag.Float64("filter-ratio", 0, "block filtering: keep this fraction of a query's smallest hit postings (0: package default; 1 disables — required for shard-count-independent answers)")
+		maxBlockFrac = flag.Float64("max-block-fraction", 0, "block purging: skip postings holding more than this fraction of profiles (0: package default; 1 disables — required for shard-count-independent answers)")
 
 		lshPolicy    = flag.String("lsh", "off", "LSH probe policy (off, fallback, union); non-off maintains MinHash signatures beside the token postings")
 		lshSignature = flag.Int("lsh-signature", 128, "MinHash signature length (a restored snapshot keeps its saved parameters)")
@@ -174,10 +197,48 @@ func run() error {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	// Coordinator mode is a different program: no index, no persistence,
+	// just the scatter-gather front end over the listed shards. Flags
+	// that configure a local index are a misconfiguration here, not a
+	// silent no-op.
+	if *shardURLs != "" {
+		indexOnly := map[string]bool{
+			"a": true, "b": true, "dirty": true, "id": true, "generate": true,
+			"snapshot": true, "snapshot-interval": true, "delta-interval": true,
+			"compact-ops": true, "read-only": true, "follow": true,
+			"oplog-retain": true, "oplog-dir": true, "oplog-fsync": true,
+			"oplog-segment-bytes": true, "index-shards": true, "scheme": true,
+			"prune": true, "k": true, "measure": true, "threshold": true,
+			"lsh": true, "lsh-signature": true, "lsh-threshold": true,
+			"lsh-floor": true, "lsh-weight": true, "slow-query": true,
+			"filter-ratio": true, "max-block-fraction": true,
+		}
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			if indexOnly[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("coordinator mode (-shards) serves no local index; drop %s", strings.Join(bad, ", "))
+		}
+		return runCoordinator(coordinatorConfig{
+			addr:          *addr,
+			shards:        *shardURLs,
+			logger:        logger,
+			maxInFlight:   *maxInFlight,
+			shedWait:      *shedWait,
+			defaultBudget: *defaultBudget,
+			maxBody:       *maxBody,
+			probeInterval: *probeEvery,
+			metrics:       *metrics,
+		})
+	}
+
 	// Validate at the flag layer: Config treats zero as "unset", so an
 	// explicit 0 here would be silently replaced by a default.
-	if *shards <= 0 {
-		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	if *indexShards <= 0 {
+		return fmt.Errorf("-index-shards must be positive, got %d", *indexShards)
 	}
 	if *topK <= 0 {
 		return fmt.Errorf("-k must be positive, got %d", *topK)
@@ -212,7 +273,7 @@ func run() error {
 	isReadOnly := *readOnly || *follow != ""
 
 	cfg := index.DefaultConfig()
-	cfg.Shards = *shards
+	cfg.Shards = *indexShards
 	// Every serving process keeps an op log: it is what /deltas serves
 	// and what delta saves append, and its memory is bounded by the
 	// retention window regardless of index size.
@@ -221,6 +282,18 @@ func run() error {
 		cfg.OpLog.MaxOps = *oplogRetain
 	}
 	cfg.MaxCandidates = *topK
+	if *filterRatio < 0 || *filterRatio > 1 {
+		return fmt.Errorf("-filter-ratio must be in [0, 1], got %g", *filterRatio)
+	}
+	if *filterRatio > 0 {
+		cfg.FilterRatio = *filterRatio
+	}
+	if *maxBlockFrac < 0 || *maxBlockFrac > 1 {
+		return fmt.Errorf("-max-block-fraction must be in [0, 1], got %g", *maxBlockFrac)
+	}
+	if *maxBlockFrac > 0 {
+		cfg.MaxBlockFraction = *maxBlockFrac
+	}
 	cfg.MatchThreshold = *threshold
 	if *threshold == 0 {
 		cfg.MatchThreshold = -1 // keep everything scoring >= 0, as asked
@@ -521,6 +594,70 @@ func run() error {
 			if err := idx.CloseWAL(); err != nil {
 				logger.Error("op log close failed", "err", err)
 			}
+		}
+		return nil
+	}
+}
+
+// coordinatorConfig is the flag subset coordinator mode consumes.
+type coordinatorConfig struct {
+	addr          string
+	shards        string
+	logger        *slog.Logger
+	maxInFlight   int
+	shedWait      time.Duration
+	defaultBudget time.Duration
+	maxBody       int64
+	probeInterval time.Duration
+	metrics       bool
+}
+
+// runCoordinator serves the scatter-gather front end: /v1 queries fan
+// out to every shard and merge, writes hash-route to one shard, and a
+// dead shard degrades answers instead of failing them.
+func runCoordinator(cc coordinatorConfig) error {
+	var urls []string
+	for _, u := range strings.Split(cc.shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	cluster, err := serve.NewCluster(urls, serve.ClusterOptions{
+		Logger:        cc.logger,
+		MaxInFlight:   cc.maxInFlight,
+		ShedWait:      cc.shedWait,
+		DefaultBudget: cc.defaultBudget,
+		MaxBodyBytes:  cc.maxBody,
+		ProbeInterval: cc.probeInterval,
+		NoMetrics:     !cc.metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	srv := &http.Server{
+		Addr:              cc.addr,
+		Handler:           cluster,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cc.logger.Info("coordinator listening", "addr", cc.addr, "shards", len(urls))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		cc.logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			cc.logger.Error("shutdown failed", "err", err)
 		}
 		return nil
 	}

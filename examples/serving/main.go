@@ -7,7 +7,10 @@
 // file without re-indexing; then replicate a leader to a read-only
 // follower over HTTP and kill the leader mid-stream; finally attach
 // the durable write-ahead log, SIGKILL the leader mid-traffic, and
-// restart it with its followers never re-bootstrapping.
+// restart it with its followers never re-bootstrapping; and last,
+// front three shard processes with a scatter-gather coordinator,
+// verify the merged ranking equals the single-node one, and kill a
+// shard to watch answers degrade instead of fail.
 package main
 
 import (
@@ -436,4 +439,109 @@ func main() {
 	if err := recovered.CloseWAL(); err != nil {
 		log.Fatal(err)
 	}
+
+	// 9. Cluster mode: a scatter-gather coordinator over shard
+	// processes — what `sparker-serve -shards http://a,http://b` runs.
+	// Writes hash-route to one shard by original profile ID; queries
+	// fan out to every shard and the ranked partials merge
+	// deterministically on global (original_id, source) identity.
+	//
+	// The equivalence config disables the knobs that depend on
+	// shard-local collection statistics (top-k pruning, purge/filter
+	// thresholds), so the sharded ranking is *exactly* the single-node
+	// ranking. On the command line these are
+	// `-prune none -filter-ratio 1 -max-block-fraction 1`.
+	equivCfg := sparker.DefaultIndexConfig()
+	equivCfg.Prune = sparker.IndexPruneNone
+	equivCfg.FilterRatio = 1
+	equivCfg.MaxBlockFraction = 1
+
+	var shardURLs []string
+	var shardSrvs []*httptest.Server
+	for i := 0; i < 3; i++ {
+		s := httptest.NewServer(serve.NewHandler(sparker.NewEmptyIndex(false, equivCfg)))
+		defer s.Close()
+		shardSrvs = append(shardSrvs, s)
+		shardURLs = append(shardURLs, s.URL)
+	}
+	clu, err := serve.NewCluster(shardURLs, serve.ClusterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clu.Close()
+	coord := httptest.NewServer(clu)
+	defer coord.Close()
+
+	// A single node holding the whole catalog, for comparison.
+	single := httptest.NewServer(serve.NewHandler(sparker.NewEmptyIndex(false, equivCfg)))
+	defer single.Close()
+
+	catalog := []string{
+		`{"id": "c1", "name": "acme turboblend 5000 blender"}`,
+		`{"id": "c2", "name": "acme turboblend 6000 blender refurbished"}`,
+		`{"id": "c3", "name": "zenix soundwave portable speaker"}`,
+		`{"id": "c4", "name": "luxor desk lamp walnut"}`,
+	}
+	for _, row := range catalog {
+		postTo(coord.URL, "/v1/upsert?source=1", row)
+		postTo(single.URL, "/v1/upsert?source=1", row)
+	}
+	fmt.Printf("cluster: %d profiles hash-routed across %d shards (c1's home shard: %d)\n",
+		len(catalog), len(shardURLs), serve.ShardFor("c1", len(shardURLs)))
+
+	clusterQ := `{"id": "probe", "name": "acme turboblend 5000 blender"}`
+	singleAnswer := askPath(single.URL, "/v1/query", clusterQ)
+	merged := askPath(coord.URL, "/v1/query", clusterQ)
+	var mergedResp, singleResp struct {
+		Matches []struct {
+			OriginalID string  `json:"original_id"`
+			Score      float64 `json:"score"`
+		} `json:"matches"`
+		Cluster struct {
+			Shards    int      `json:"shards"`
+			Responded int      `json:"responded"`
+			Degraded  bool     `json:"degraded"`
+			Failed    []string `json:"failed"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(merged, &mergedResp); err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(singleAnswer, &singleResp); err != nil {
+		log.Fatal(err)
+	}
+	sameRanking := len(mergedResp.Matches) == len(singleResp.Matches)
+	for i := range mergedResp.Matches {
+		if !sameRanking ||
+			mergedResp.Matches[i].OriginalID != singleResp.Matches[i].OriginalID ||
+			mergedResp.Matches[i].Score != singleResp.Matches[i].Score {
+			sameRanking = false
+			break
+		}
+	}
+	fmt.Printf("scatter-gather: %d/%d shards responded, ranking identical to single node: %v\n",
+		mergedResp.Cluster.Responded, mergedResp.Cluster.Shards, sameRanking)
+
+	// Kill one shard: the coordinator answers 200 with the surviving
+	// shards' merged results, marked degraded — never a 5xx. Only when
+	// every shard is gone does a query fail.
+	shardSrvs[0].Close()
+	degraded := askPath(coord.URL, "/v1/query", clusterQ)
+	if err := json.Unmarshal(degraded, &mergedResp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after shard death: degraded=%v, %d/%d responded, %d failed shard(s)\n",
+		mergedResp.Cluster.Degraded, mergedResp.Cluster.Responded,
+		mergedResp.Cluster.Shards, len(mergedResp.Cluster.Failed))
+}
+
+// askPath POSTs body to base+path and returns the raw response.
+func askPath(base, path, body string) []byte {
+	resp, err := http.Post(base+path, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return raw
 }

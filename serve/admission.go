@@ -99,6 +99,22 @@ func (a *admission) acquire(ctx context.Context) (release func(), level, status 
 	}
 }
 
+// gated wraps a handler behind the gate: over-limit requests shed with
+// 429/503 + Retry-After instead of queueing, and the admission level
+// rides in the request context for the degradation ladder. Shared by
+// the single-node Handler and the cluster Coordinator.
+func (a *admission) gated(retryAfterSecs int64, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, level, status := a.acquire(r.Context())
+		if status != 0 {
+			shedResponse(w, status, retryAfterSecs)
+			return
+		}
+		defer release()
+		fn(w, r.WithContext(context.WithValue(r.Context(), admissionLevelKey{}, level)))
+	}
+}
+
 // levelFor maps gate occupancy onto the degradation ladder: 0 below
 // half-full (healthy), 1 at half, 2 at three-quarters, 3 when the
 // request had to wait for a slot (the gate was full on arrival).
@@ -161,8 +177,8 @@ func degrade(opts *index.ResolveOptions, level int, budget time.Duration) time.D
 // shed writes the 429/503 shed response: Retry-After (derived from the
 // configured shed wait — see retryAfterSeconds) so well-behaved clients
 // back off for at least as long as the server would have let them wait
-// for a slot, JSON error body like every other error surface.
-func shedResponse(w http.ResponseWriter, status int, retryAfter string) {
-	w.Header().Set("Retry-After", retryAfter)
-	httpError(w, status, errOverloaded)
+// for a slot, and the typed error envelope like every other error
+// surface, with retry_after_seconds mirroring the header.
+func shedResponse(w http.ResponseWriter, status int, retryAfterSecs int64) {
+	httpErrorRetry(w, status, ErrCodeOverloaded, retryAfterSecs, errOverloaded)
 }

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sparker/internal/index"
+)
+
+// BenchmarkClusterQuery measures a full coordinator round trip — parse,
+// fan-out over real HTTP shards, scatter-gather, deterministic merge,
+// JSON response — against the same query on shard counts 1 and 3. The
+// 1-shard case isolates the coordinator's fixed overhead (one hop, no
+// real merge work); 3 shards adds concurrent fan-out and a three-way
+// merge.
+func BenchmarkClusterQuery(b *testing.B) {
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var urls []string
+			for i := 0; i < shards; i++ {
+				srv := httptest.NewServer(NewHandler(index.New(false, equivCfg())))
+				defer srv.Close()
+				urls = append(urls, srv.URL)
+			}
+			cluster, err := NewCluster(urls, ClusterOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			coord := httptest.NewServer(cluster)
+			defer coord.Close()
+
+			// Seed a corpus big enough that the shards do real posting
+			// work; rotating token suffixes give overlapping blocks
+			// without making every profile a candidate.
+			var bulk strings.Builder
+			for i := 0; i < 256; i++ {
+				fmt.Fprintf(&bulk, "{\"id\": \"bench-%d\", \"name\": \"alpha beta tok%d tok%d\"}\n",
+					i, i%29, i%7)
+			}
+			resp, err := http.Post(coord.URL+"/v1/bulk", "application/json",
+				strings.NewReader(bulk.String()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("bulk seed: %d", resp.StatusCode)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(coord.URL+"/v1/query", "application/json",
+					strings.NewReader(clusterQuery))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("query: %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+}

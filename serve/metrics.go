@@ -9,7 +9,6 @@ package serve
 // "where do queries spend their time".
 
 import (
-	"fmt"
 	"net/http"
 
 	"sparker/internal/index"
@@ -45,11 +44,27 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// handle registers an instrumented route on the mux.
-func (h *Handler) handle(mux *http.ServeMux, route string, fn http.HandlerFunc) {
+// router is the instrumented route table shared by the single-node
+// Handler and the cluster Coordinator: one mux, one routeMetrics row
+// per canonical route. Aliases (the legacy unversioned paths) dispatch
+// to the same handler and count into the same row, labelled by the
+// canonical /v1 path — an operator's dashboards see one route however
+// clients spell it.
+type router struct {
+	mux    *http.ServeMux
+	routes []*routeMetrics
+}
+
+func (rt *router) init() { rt.mux = http.NewServeMux() }
+
+// ServeHTTP dispatches to the instrumented routes.
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// handle registers an instrumented route on the mux, plus any aliases.
+func (rt *router) handle(route string, fn http.HandlerFunc, aliases ...string) {
 	rm := &routeMetrics{route: route}
-	h.routes = append(h.routes, rm)
-	mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+	rt.routes = append(rt.routes, rm)
+	instrumented := func(w http.ResponseWriter, r *http.Request) {
 		start := obs.Now()
 		sw := statusWriter{ResponseWriter: w}
 		fn(&sw, r)
@@ -65,7 +80,11 @@ func (h *Handler) handle(mux *http.ServeMux, route string, fn http.HandlerFunc) 
 			rm.errors4xx.Inc()
 		}
 		rm.latency.Observe(obs.Now() - start)
-	})
+	}
+	rt.mux.HandleFunc(route, instrumented)
+	for _, alias := range aliases {
+		rt.mux.HandleFunc(alias, instrumented)
+	}
 }
 
 // routeStatsJSON is one route's counters on the /stats surface — the
@@ -79,9 +98,9 @@ type routeStatsJSON struct {
 	P99Ms     float64 `json:"p99_ms"`
 }
 
-func (h *Handler) routeStats() []routeStatsJSON {
-	out := make([]routeStatsJSON, 0, len(h.routes))
-	for _, rm := range h.routes {
+func (rt *router) routeStats() []routeStatsJSON {
+	out := make([]routeStatsJSON, 0, len(rt.routes))
+	for _, rm := range rt.routes {
 		s := rm.latency.Snapshot()
 		out = append(out, routeStatsJSON{
 			Route:     rm.route,
@@ -130,11 +149,31 @@ func (h *Handler) admissionStats() admissionStatsJSON {
 	return s
 }
 
+// writeHTTPMetrics renders the per-route HTTP families. Families must
+// be contiguous in the exposition: each family is emitted across all
+// routes before moving to the next.
+func (rt *router) writeHTTPMetrics(e *obs.Expo) {
+	for _, rm := range rt.routes {
+		e.Counter("sparker_http_requests_total", "HTTP requests served.", float64(rm.requests.Load()),
+			obs.Label{Name: "route", Value: rm.route})
+	}
+	for _, rm := range rt.routes {
+		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors4xx.Load()),
+			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "4xx"})
+		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors5xx.Load()),
+			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "5xx"})
+	}
+	for _, rm := range rt.routes {
+		e.Histogram("sparker_http_request_seconds", "HTTP request latency.", rm.latency.Snapshot(), 1e-9,
+			obs.Label{Name: "route", Value: rm.route})
+	}
+}
+
 // metrics serves GET /metrics: the Prometheus text exposition of the
 // index and HTTP telemetry.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -223,22 +262,7 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Counter("sparker_queries_truncated_total", "Query responses truncated by a per-request budget.", float64(adm.Truncated))
 	e.Histogram("sparker_query_budget_spent_comparisons", "Comparisons spent per budgeted query.", h.budgetSpent.Snapshot(), 1)
 
-	// Families must be contiguous in the exposition: emit each HTTP
-	// family across all routes before moving to the next.
-	for _, rm := range h.routes {
-		e.Counter("sparker_http_requests_total", "HTTP requests served.", float64(rm.requests.Load()),
-			obs.Label{Name: "route", Value: rm.route})
-	}
-	for _, rm := range h.routes {
-		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors4xx.Load()),
-			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "4xx"})
-		e.Counter("sparker_http_errors_total", "HTTP error responses.", float64(rm.errors5xx.Load()),
-			obs.Label{Name: "route", Value: rm.route}, obs.Label{Name: "class", Value: "5xx"})
-	}
-	for _, rm := range h.routes {
-		e.Histogram("sparker_http_request_seconds", "HTTP request latency.", rm.latency.Snapshot(), 1e-9,
-			obs.Label{Name: "route", Value: rm.route})
-	}
+	h.writeHTTPMetrics(e)
 	_ = e.Flush()
 }
 

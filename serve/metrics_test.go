@@ -55,8 +55,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(obsTestIndex(t)))
 	defer srv.Close()
 
+	// One query through the legacy alias and one through the canonical
+	// /v1 path: both must count into the same route="/v1/query" row.
 	if resp, body := postJSON(t, srv.URL+"/query", `{"id": "probe", "name": "acme turbo blender"}`); resp.StatusCode != 200 {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, srv.URL+"/v1/query", `{"id": "probe2", "name": "acme turbo blender"}`); resp.StatusCode != 200 {
+		t.Fatalf("v1 query: %d %s", resp.StatusCode, body)
 	}
 	if resp, _ := postJSON(t, srv.URL+"/upsert?source=1", `{"id": "b9", "name": "starlight projector"}`); resp.StatusCode != 200 {
 		t.Fatalf("upsert: %d", resp.StatusCode)
@@ -83,20 +88,20 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	for _, want := range []string{
 		"sparker_index_profiles 5",
-		"sparker_index_queries_total 1",
+		"sparker_index_queries_total 2",
 		"sparker_index_upserts_total 5",
-		`sparker_query_stage_seconds_bucket{stage="tokenize",le="+Inf"} 1`,
-		`sparker_query_stage_seconds_bucket{stage="prune",le="+Inf"} 1`,
-		`sparker_query_stage_seconds_bucket{stage="score",le="+Inf"} 1`,
-		"sparker_query_seconds_count 1",
-		"sparker_resolve_seconds_count 1",
+		`sparker_query_stage_seconds_bucket{stage="tokenize",le="+Inf"} 2`,
+		`sparker_query_stage_seconds_bucket{stage="prune",le="+Inf"} 2`,
+		`sparker_query_stage_seconds_bucket{stage="score",le="+Inf"} 2`,
+		"sparker_query_seconds_count 2",
+		"sparker_resolve_seconds_count 2",
 		"sparker_upsert_seconds_count 5",
-		"sparker_resolve_comparisons_count 1",
-		`sparker_http_requests_total{route="/query"} 2`,
-		`sparker_http_requests_total{route="/upsert"} 1`,
-		`sparker_http_errors_total{route="/query",class="4xx"} 1`,
-		`sparker_http_errors_total{route="/query",class="5xx"} 0`,
-		`sparker_http_request_seconds_count{route="/query"} 2`,
+		"sparker_resolve_comparisons_count 2",
+		`sparker_http_requests_total{route="/v1/query"} 3`,
+		`sparker_http_requests_total{route="/v1/upsert"} 1`,
+		`sparker_http_errors_total{route="/v1/query",class="4xx"} 1`,
+		`sparker_http_errors_total{route="/v1/query",class="5xx"} 0`,
+		`sparker_http_request_seconds_count{route="/v1/query"} 3`,
 	} {
 		if !strings.Contains(body, want+"\n") {
 			t.Errorf("missing %q in /metrics output", want)
@@ -226,12 +231,12 @@ func TestStatsHTTPCounters(t *testing.T) {
 		found        bool
 	}
 	for _, r := range stats.HTTP {
-		if r.Route == "/query" {
+		if r.Route == "/v1/query" {
 			query.requests, query.e4, query.found = r.Requests, r.Errors4xx, true
 		}
 	}
 	if !query.found {
-		t.Fatal("no /query row in stats http counters")
+		t.Fatal("no /v1/query row in stats http counters")
 	}
 	if query.requests != 3 || query.e4 != 2 {
 		t.Errorf("/query counters requests=%d errors_4xx=%d, want 3/2", query.requests, query.e4)

@@ -121,9 +121,12 @@ func TestAdmissionShedImmediate(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("shed response missing Retry-After header")
 	}
-	var body map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
-		t.Fatalf("shed response body = %v (err %v), want JSON error", body, err)
+	var body APIError
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Err.Code != ErrCodeOverloaded {
+		t.Fatalf("shed response body = %+v (err %v), want %q envelope", body, err, ErrCodeOverloaded)
+	}
+	if body.Err.RetryAfterSeconds < 1 {
+		t.Fatalf("shed envelope retry_after_seconds = %d, want >= 1", body.Err.RetryAfterSeconds)
 	}
 	resp.Body.Close()
 
@@ -338,13 +341,13 @@ func TestBodyLimit413(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized upsert status = %d, want 413", resp.StatusCode)
 	}
-	var body map[string]string
+	var body APIError
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("decode 413 body: %v", err)
 	}
 	resp.Body.Close()
-	if !strings.Contains(body["error"], "128 bytes") {
-		t.Fatalf("413 error = %q, want the configured limit named", body["error"])
+	if body.Err.Code != ErrCodePayloadTooLarge || !strings.Contains(body.Err.Message, "128 bytes") {
+		t.Fatalf("413 error = %+v, want %q naming the configured limit", body.Err, ErrCodePayloadTooLarge)
 	}
 
 	resp, err = client.Post(srv.URL+"/upsert", "application/json",

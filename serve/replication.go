@@ -55,38 +55,33 @@ const (
 // from /snapshot), 404 when the index keeps no op log at all.
 func (h *Handler) deltas(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	x := h.Index()
 	if !x.OpLogEnabled() {
-		httpError(w, http.StatusNotFound, fmt.Errorf("index keeps no op log (start sparker-serve with -oplog or -snapshot)"))
+		httpError(w, http.StatusNotFound, ErrCodeNotFound, fmt.Errorf("index keeps no op log (start sparker-serve with -oplog or -snapshot)"))
 		return
 	}
-	since, err := parseSeqParam(r, "since")
+	params, err := ParseDeltaParams(r.URL.Query())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
-	wait, err := parseWaitParam(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	deadline := time.Now().Add(wait)
+	deadline := time.Now().Add(params.wait())
 	for {
 		// Fetch the notify channel BEFORE checking the log: an op that
 		// lands between the check and the select closes this channel, so
 		// the select below cannot miss it.
 		notify := x.OpNotify()
-		frames, seq, err := x.OpsSince(since, maxDeltaResponseBytes)
+		frames, seq, err := x.OpsSince(params.Since, maxDeltaResponseBytes)
 		if err != nil {
 			if errors.Is(err, index.ErrOpLogGap) {
 				w.Header().Set(deltaSeqHeader, strconv.FormatInt(seq, 10))
-				httpError(w, http.StatusGone, err)
+				httpError(w, http.StatusGone, ErrCodeGone, err)
 				return
 			}
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, http.StatusInternalServerError, ErrCodeInternal, err)
 			return
 		}
 		if len(frames) > 0 {
@@ -121,7 +116,7 @@ func (h *Handler) deltas(w http.ResponseWriter, r *http.Request) {
 // writes to disk, so index.Decode consumes it unchanged.
 func (h *Handler) snapshotStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	x := h.Index()
@@ -132,34 +127,6 @@ func (h *Handler) snapshotStream(w http.ResponseWriter, r *http.Request) {
 		// follower's CRC check, which is the recovery path anyway.
 		h.logger.Warn("snapshot stream aborted", slog.String("error", err.Error()))
 	}
-}
-
-func parseSeqParam(r *http.Request, name string) (int64, error) {
-	s := r.URL.Query().Get(name)
-	if s == "" {
-		return 0, nil
-	}
-	n, err := strconv.ParseInt(s, 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad %s %q (want a non-negative sequence number)", name, s)
-	}
-	return n, nil
-}
-
-func parseWaitParam(r *http.Request) (time.Duration, error) {
-	s := r.URL.Query().Get("wait_ms")
-	if s == "" {
-		return 0, nil
-	}
-	ms, err := strconv.ParseInt(s, 10, 64)
-	if err != nil || ms < 0 {
-		return 0, fmt.Errorf("bad wait_ms %q (want non-negative milliseconds)", s)
-	}
-	wait := time.Duration(ms) * time.Millisecond
-	if wait > maxDeltaWait {
-		wait = maxDeltaWait
-	}
-	return wait, nil
 }
 
 // FollowerOptions tunes the replication loop.
@@ -296,7 +263,7 @@ func (f *Follower) Stats() ReplicationStats {
 // into a fresh read-only index. The follower's applied sequence number
 // starts at the snapshot's.
 func (f *Follower) Bootstrap(ctx context.Context) (*index.Index, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+"/snapshot", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+"/v1/snapshot", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -404,8 +371,10 @@ func jitteredBackoff(d time.Duration) time.Duration {
 // poll issues one /deltas request from the index's current position
 // and applies whatever comes back.
 func (f *Follower) poll(ctx context.Context, x *index.Index) error {
-	since := x.Seq()
-	u := fmt.Sprintf("%s/deltas?since=%d&wait_ms=%d", f.leader, since, f.pollWait.Milliseconds())
+	// The poll URL is built from the same typed DeltaParams the leader
+	// decodes, so the two ends of the wire share one codec.
+	params := DeltaParams{Since: x.Seq(), WaitMS: f.pollWait.Milliseconds()}
+	u := f.leader + "/v1/deltas?" + params.Values().Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err

@@ -410,17 +410,17 @@ func TestReadyzEmptyReplica(t *testing.T) {
 func TestRetryAfterDerivedFromShedWait(t *testing.T) {
 	for _, tc := range []struct {
 		wait time.Duration
-		want string
+		want int64
 	}{
-		{0, "1"},
-		{300 * time.Millisecond, "1"},
-		{time.Second, "1"},
-		{1500 * time.Millisecond, "2"},
-		{2500 * time.Millisecond, "3"},
-		{30 * time.Second, "30"},
+		{0, 1},
+		{300 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{2500 * time.Millisecond, 3},
+		{30 * time.Second, 30},
 	} {
 		if got := retryAfterSeconds(tc.wait); got != tc.want {
-			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.wait, got, tc.want)
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
 		}
 	}
 

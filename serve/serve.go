@@ -5,7 +5,6 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -70,30 +69,37 @@ type Options struct {
 	Follower *Follower
 }
 
-// NewHandler serves an index over HTTP:
+// NewHandler serves an index over HTTP. Every route lives under the
+// versioned /v1/ prefix with the historical unversioned path kept as
+// an alias (same handler, same counters):
 //
-//	POST /query         — body: one JSON profile {"id": "...", "attr":
-//	                      "value"}; ranks candidates and scores matches.
-//	                      ?source=1 marks the query as coming from the
-//	                      second clean source. ?probe=off|fallback|union
-//	                      overrides the index's LSH probe policy for this
-//	                      query and ?probe_floor=N the fallback floor
-//	                      (both need an LSH-enabled index; see
-//	                      IndexConfig.LSH and sparker-serve -lsh).
-//	                      ?debug=1 adds a per-stage timing breakdown of
-//	                      this query to the response. ?budget_ms= and
+//	POST /v1/query         — body: one JSON profile {"id": "...",
+//	                      "attr": "value"}; ranks candidates and scores
+//	                      matches. ?source=1 marks the query as coming
+//	                      from the second clean source.
+//	                      ?probe=off|fallback|union overrides the
+//	                      index's LSH probe policy for this query and
+//	                      ?probe_floor=N the fallback floor (both need
+//	                      an LSH-enabled index; see IndexConfig.LSH and
+//	                      sparker-serve -lsh). ?debug=1 adds a
+//	                      per-stage timing breakdown of this query to
+//	                      the response. ?budget_ms= and
 //	                      ?max_comparisons= bound this query's work
 //	                      (wall-clock / scored candidates); a tripped
 //	                      budget returns the best-first prefix with
 //	                      "truncated": true and the tripping stage.
-//	POST /upsert        — body: one JSON profile; inserts or replaces it.
-//	POST /bulk          — body: JSON-lines profiles; upserts every record.
-//	POST /snapshot/save — write a durable snapshot (needs a configured
-//	                      snapshot path; see NewHandlerOptions).
-//	GET  /stats         — consistent index snapshot, including read-only
-//	                      mode, durable-snapshot metadata, per-stage
-//	                      timing digests, per-route HTTP counters and
-//	                      admission/budget accounting.
+//	                      The knob set is typed: see QueryParams.
+//	POST /v1/upsert        — body: one JSON profile; inserts or
+//	                      replaces it.
+//	POST /v1/bulk          — body: JSON-lines profiles; upserts every
+//	                      record.
+//	POST /v1/snapshot/save — write a durable snapshot (needs a
+//	                      configured snapshot path; see
+//	                      NewHandlerOptions).
+//	GET  /v1/stats         — consistent index snapshot, including
+//	                      read-only mode, durable-snapshot metadata,
+//	                      per-stage timing digests, per-route HTTP
+//	                      counters and admission/budget accounting.
 //	GET  /metrics       — Prometheus text exposition of the same
 //	                      telemetry (per-stage latency histograms,
 //	                      request/error counters, LSH probe rates,
@@ -105,25 +111,35 @@ type Options struct {
 //	                      read-only replica that has not yet loaded a
 //	                      snapshot (or applied a delta) answers 503 so
 //	                      traffic never routes to an empty follower.
-//	GET  /deltas        — replication feed: the op frames applied after
-//	                      ?since=<seq>, long-polling up to ?wait_ms=
-//	                      when caught up (see replication.go). Needs an
-//	                      op-log-enabled index.
-//	GET  /snapshot      — streams a full binary snapshot of the index,
-//	                      the follower bootstrap (and resync) source.
+//	GET  /v1/deltas        — replication feed: the op frames applied
+//	                      after ?since=<seq>, long-polling up to
+//	                      ?wait_ms= when caught up (see
+//	                      replication.go). Needs an op-log-enabled
+//	                      index.
+//	GET  /v1/snapshot      — streams a full binary snapshot of the
+//	                      index, the follower bootstrap (and resync)
+//	                      source.
 //
-// With Options.MaxInFlight set, /query, /upsert and /bulk sit behind
-// an admission gate: over-limit requests wait at most Options.ShedWait
-// and are then shed with 429/503 + Retry-After, and admitted queries
-// degrade under pressure (tightened budget, cheaper probe policy) —
-// see admission.go for the ladder. Request bodies on those routes are
-// bounded by Options.MaxBodyBytes (413 beyond it).
+// /metrics, /healthz and /readyz stay unversioned: they are operator
+// conventions (scrapers and load balancers), not API surfaces.
+//
+// Every 4xx/5xx response carries the typed JSON error envelope
+// {"error": {"code", "message", "retry_after_seconds?"}} — see
+// APIError and the ErrCode* constants.
+//
+// With Options.MaxInFlight set, /v1/query, /v1/upsert and /v1/bulk sit
+// behind an admission gate: over-limit requests wait at most
+// Options.ShedWait and are then shed with 429/503 + Retry-After, and
+// admitted queries degrade under pressure (tightened budget, cheaper
+// probe policy) — see admission.go for the ladder. Request bodies on
+// those routes are bounded by Options.MaxBodyBytes (413 beyond it).
 //
 // Every route is instrumented: request, 4xx and 5xx counters plus a
-// latency histogram per route, surfaced by both /stats and /metrics.
-// Upserts against a read-only replica fail with 403. Profiles use the
-// loader's JSON-lines wire format; the "id" field is the original
-// identifier, every other field an attribute.
+// latency histogram per route (labelled by the canonical /v1 path,
+// aliases included), surfaced by both /v1/stats and /metrics. Upserts
+// against a read-only replica fail with 403. Profiles use the loader's
+// JSON-lines wire format; the "id" field is the original identifier,
+// every other field an attribute.
 func NewHandler(x *index.Index) *Handler { return NewHandlerOptions(x, Options{}) }
 
 // NewHandlerOptions is NewHandler with the persistence, observability,
@@ -140,20 +156,19 @@ func NewHandlerOptions(x *index.Index, opts Options) *Handler {
 		h.maxBody = DefaultMaxBodyBytes
 	}
 	h.retryAfter = retryAfterSeconds(opts.ShedWait)
-	mux := http.NewServeMux()
-	h.handle(mux, "/query", h.gated(h.query))
-	h.handle(mux, "/upsert", h.gated(h.upsert))
-	h.handle(mux, "/bulk", h.gated(h.bulk))
-	h.handle(mux, "/snapshot/save", h.snapshotSave)
-	h.handle(mux, "/snapshot", h.snapshotStream)
-	h.handle(mux, "/deltas", h.deltas)
-	h.handle(mux, "/stats", h.stats)
-	h.handle(mux, "/healthz", h.healthz)
-	h.handle(mux, "/readyz", h.readyz)
+	h.router.init()
+	h.handle("/v1/query", h.gated(h.query), "/query")
+	h.handle("/v1/upsert", h.gated(h.upsert), "/upsert")
+	h.handle("/v1/bulk", h.gated(h.bulk), "/bulk")
+	h.handle("/v1/snapshot/save", h.snapshotSave, "/snapshot/save")
+	h.handle("/v1/snapshot", h.snapshotStream, "/snapshot")
+	h.handle("/v1/deltas", h.deltas, "/deltas")
+	h.handle("/v1/stats", h.stats, "/stats")
+	h.handle("/healthz", h.healthz)
+	h.handle("/readyz", h.readyz)
 	if !opts.NoMetrics {
-		h.handle(mux, "/metrics", h.metrics)
+		h.handle("/metrics", h.metrics)
 	}
-	h.mux = mux
 	return h
 }
 
@@ -163,28 +178,24 @@ func NewHandlerOptions(x *index.Index, opts Options) *Handler {
 // path: each request pins one index for its whole duration and the old
 // one drains naturally.
 type Handler struct {
+	router
 	idx      atomic.Pointer[index.Index]
 	opts     Options
 	logger   *slog.Logger
-	routes   []*routeMetrics
 	gate     *admission
 	maxBody  int64
 	follower *Follower
-	mux      *http.ServeMux
 	// retryAfter is the Retry-After value (whole seconds) of every shed
 	// and not-ready response, derived from Options.ShedWait: a client
 	// told to come back should wait at least as long as the server
 	// itself would have let it wait for a slot.
-	retryAfter string
+	retryAfter int64
 
 	// Budget/degradation accounting, exposed by /stats and /metrics.
 	degraded    obs.Counter   // queries served at a non-zero ladder level
 	truncated   obs.Counter   // responses whose budget tripped
 	budgetSpent obs.Histogram // comparisons spent per budgeted query
 }
-
-// ServeHTTP dispatches to the instrumented routes.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 // Index returns the handler's current index.
 func (h *Handler) Index() *index.Index { return h.idx.Load() }
@@ -197,12 +208,12 @@ func (h *Handler) SetIndex(x *index.Index) { h.idx.Store(x) }
 // value, rounding up so clients never come back before a slot could
 // have opened; the floor of 1 keeps the header meaningful when no wait
 // is configured.
-func retryAfterSeconds(wait time.Duration) string {
+func retryAfterSeconds(wait time.Duration) int64 {
 	secs := int64(math.Ceil(wait.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.FormatInt(secs, 10)
+	return secs
 }
 
 // errOverloaded is the shed response body: what a client sees when the
@@ -214,15 +225,7 @@ var errOverloaded = errors.New("server overloaded, retry later")
 // level rides in the request context for the query handler's
 // degradation ladder.
 func (h *Handler) gated(fn http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		release, level, status := h.gate.acquire(r.Context())
-		if status != 0 {
-			shedResponse(w, status, h.retryAfter)
-			return
-		}
-		defer release()
-		fn(w, r.WithContext(context.WithValue(r.Context(), admissionLevelKey{}, level)))
-	}
+	return h.gate.gated(h.retryAfter, fn)
 }
 
 // admissionLevelKey carries the degradation level from the gate to the
@@ -235,13 +238,18 @@ func admissionLevel(r *http.Request) int {
 }
 
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
-	p, ok := h.readOneProfile(w, r)
+	params, ok := h.readParams(w, r)
+	if !ok {
+		return
+	}
+	p, ok := h.readOneProfile(w, r, params)
 	if !ok {
 		return
 	}
 	x := h.Index()
-	opts, budget, ok := readResolveOptions(w, r, x, h.opts.DefaultBudget)
-	if !ok {
+	opts, budget, err := params.resolveOptions(x, h.opts.DefaultBudget)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 	// The degradation ladder: under gate pressure, tighten the budget
@@ -271,44 +279,65 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := newQueryResponse(x, res)
 	resp.Degraded = level
-	if wantDebug(r) {
+	if params.Debug {
 		resp.Debug = newDebugJSON(res)
 	}
 	writeJSON(w, resp)
 }
 
+// readParams decodes the typed request knobs, answering the 400 itself
+// on a malformed knob.
+func (h *Handler) readParams(w http.ResponseWriter, r *http.Request) (QueryParams, bool) {
+	params, err := ParseQueryParams(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return params, false
+	}
+	return params, true
+}
+
 func (h *Handler) upsert(w http.ResponseWriter, r *http.Request) {
-	p, ok := h.readOneProfile(w, r)
+	params, ok := h.readParams(w, r)
+	if !ok {
+		return
+	}
+	p, ok := h.readOneProfile(w, r, params)
 	if !ok {
 		return
 	}
 	id, created, err := h.Index().Upsert(*p)
 	if err != nil {
-		httpError(w, upsertErrorStatus(err), err)
+		code, status := upsertErrorStatus(err)
+		httpError(w, status, code, err)
 		return
 	}
-	writeJSON(w, map[string]any{"id": id, "created": created})
+	writeJSON(w, upsertResponse{ID: id, Created: created})
 }
 
 func (h *Handler) bulk(w http.ResponseWriter, r *http.Request) {
-	ps, ok := h.readProfiles(w, r)
+	params, ok := h.readParams(w, r)
+	if !ok {
+		return
+	}
+	ps, ok := h.readProfiles(w, r, params)
 	if !ok {
 		return
 	}
 	x := h.Index()
 	for _, p := range ps {
 		if _, _, err := x.Upsert(p); err != nil {
-			httpError(w, upsertErrorStatus(err), err)
+			code, status := upsertErrorStatus(err)
+			httpError(w, status, code, err)
 			return
 		}
 	}
-	writeJSON(w, map[string]any{"upserted": len(ps)})
+	writeJSON(w, bulkResponse{Upserted: len(ps)})
 }
 
 // healthz is liveness: the process is up and the handler answers.
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	writeJSON(w, map[string]any{"status": "ok"})
@@ -323,7 +352,7 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 // zero-candidate answers that look like successes.
 func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	if x := h.Index(); x.ReadOnly() && !x.Restored() && x.Size() == 0 && (h.follower == nil || !h.follower.Ready()) {
@@ -338,9 +367,15 @@ func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // notReady writes the /readyz 503 with the same Retry-After a shed
-// response carries.
+// response carries. The body stays status-shaped (not the error
+// envelope): readiness probes report state, they do not fail requests.
 func (h *Handler) notReady(w http.ResponseWriter, body map[string]any) {
-	w.Header().Set("Retry-After", h.retryAfter)
+	writeNotReady(w, h.retryAfter, body)
+}
+
+// writeNotReady is the shared /readyz 503 writer (Handler and Cluster).
+func writeNotReady(w http.ResponseWriter, retryAfterSecs int64, body map[string]any) {
+	w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSecs, 10))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(body)
@@ -348,11 +383,11 @@ func (h *Handler) notReady(w http.ResponseWriter, body map[string]any) {
 
 func (h *Handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		methodError(w, http.MethodPost)
 		return
 	}
 	if h.opts.SnapshotPath == "" {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no snapshot path configured (start sparker-serve with -snapshot)"))
+		httpError(w, http.StatusNotFound, ErrCodeNotFound, fmt.Errorf("no snapshot path configured (start sparker-serve with -snapshot)"))
 		return
 	}
 	// A replica consumes the snapshot file, never produces it — a
@@ -361,13 +396,13 @@ func (h *Handler) snapshotSave(w http.ResponseWriter, r *http.Request) {
 	// embedders of the handler get the same invariant.
 	x := h.Index()
 	if x.ReadOnly() {
-		httpError(w, http.StatusForbidden, fmt.Errorf("read-only replica does not write snapshots"))
+		httpError(w, http.StatusForbidden, ErrCodeReadOnly, fmt.Errorf("read-only replica does not write snapshots"))
 		return
 	}
 	start := time.Now()
 	st, err := x.Save(h.opts.SnapshotPath)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, ErrCodeInternal, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -389,7 +424,7 @@ type statsResponse struct {
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		methodError(w, http.MethodGet)
 		return
 	}
 	resp := statsResponse{Snapshot: h.Index().Snapshot(), HTTP: h.routeStats(), Admission: h.admissionStats()}
@@ -423,78 +458,24 @@ func (h *Handler) logSlowQuery(p *profile.Profile, res *index.Resolution, elapse
 	h.logger.Warn("slow query", attrs...)
 }
 
-// upsertErrorStatus maps index write errors onto HTTP statuses: writes
-// against a read-only replica are refused, not malformed.
-func upsertErrorStatus(err error) int {
+// upsertErrorStatus maps index write errors onto the envelope code and
+// HTTP status: writes against a read-only replica are refused, not
+// malformed.
+func upsertErrorStatus(err error) (code string, status int) {
 	if errors.Is(err, index.ErrReadOnly) {
-		return http.StatusForbidden
+		return ErrCodeReadOnly, http.StatusForbidden
 	}
-	return http.StatusBadRequest
+	return ErrCodeBadRequest, http.StatusBadRequest
 }
 
-// wantDebug reports whether the request asked for the per-stage timing
-// breakdown.
-func wantDebug(r *http.Request) bool {
-	switch r.URL.Query().Get("debug") {
-	case "1", "true":
-		return true
-	}
-	return false
+// upsertResponse and bulkResponse are the typed write acknowledgements.
+type upsertResponse struct {
+	ID      profile.ID `json:"id"`
+	Created bool       `json:"created"`
 }
 
-// readResolveOptions parses the per-query knobs: the LSH probe
-// overrides (explicitly requesting a probe on an index without LSH is
-// a client error, not a silent no-op) and the work budget
-// (?budget_ms= wall-clock milliseconds, ?max_comparisons= scored
-// candidates). The wall-clock budget is returned as a duration — the
-// deadline itself is stamped by the caller after the degradation
-// ladder had its say.
-func readResolveOptions(w http.ResponseWriter, r *http.Request, x *index.Index, defaultBudget time.Duration) (index.ResolveOptions, time.Duration, bool) {
-	opts := index.ResolveOptions{Probe: index.ProbeOptions{Policy: x.ProbePolicy()}}
-	budget := defaultBudget
-	if s := r.URL.Query().Get("probe"); s != "" {
-		pol, err := index.ParseProbePolicy(s)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return opts, 0, false
-		}
-		if pol != index.ProbeOff && !x.LSHEnabled() {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("probe=%s needs an LSH-enabled index (start sparker-serve with -lsh)", s))
-			return opts, 0, false
-		}
-		opts.Probe.Policy = pol
-	}
-	if s := r.URL.Query().Get("probe_floor"); s != "" {
-		floor, err := strconv.Atoi(s)
-		if err != nil || floor < 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad probe_floor %q", s))
-			return opts, 0, false
-		}
-		if !x.LSHEnabled() {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("probe_floor needs an LSH-enabled index (start sparker-serve with -lsh)"))
-			return opts, 0, false
-		}
-		opts.Probe.Floor = floor
-	}
-	if s := r.URL.Query().Get("budget_ms"); s != "" {
-		ms, err := strconv.ParseFloat(s, 64)
-		if err != nil || ms < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad budget_ms %q (want non-negative milliseconds; 0 = unlimited)", s))
-			return opts, 0, false
-		}
-		budget = time.Duration(ms * float64(time.Millisecond))
-	}
-	if s := r.URL.Query().Get("max_comparisons"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max_comparisons %q (want non-negative; 0 = unlimited)", s))
-			return opts, 0, false
-		}
-		opts.Budget.MaxComparisons = n
-	}
-	return opts, budget, true
+type bulkResponse struct {
+	Upserted int `json:"upserted"`
 }
 
 // candidateJSON is one ranked blocking candidate on the wire.
@@ -604,25 +585,25 @@ func newQueryResponse(x *index.Index, r *index.Resolution) queryResponse {
 }
 
 // readOneProfile parses exactly one JSON profile from a POST body.
-func (h *Handler) readOneProfile(w http.ResponseWriter, r *http.Request) (*profile.Profile, bool) {
-	ps, ok := h.readProfiles(w, r)
+func (h *Handler) readOneProfile(w http.ResponseWriter, r *http.Request, params QueryParams) (*profile.Profile, bool) {
+	ps, ok := h.readProfiles(w, r, params)
 	if !ok {
 		return nil, false
 	}
 	if len(ps) != 1 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("expected one profile, got %d", len(ps)))
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("expected one profile, got %d", len(ps)))
 		return nil, false
 	}
 	return &ps[0], true
 }
 
-// readProfiles parses a JSON-lines POST body, applying the ?source
-// param. The body is bounded by Options.MaxBodyBytes — one huge upload
-// answers 413, it does not balloon the heap.
-func (h *Handler) readProfiles(w http.ResponseWriter, r *http.Request) ([]profile.Profile, bool) {
+// readProfiles parses a JSON-lines POST body, applying the decoded
+// ?source knob. The body is bounded by Options.MaxBodyBytes — one huge
+// upload answers 413, it does not balloon the heap.
+func (h *Handler) readProfiles(w http.ResponseWriter, r *http.Request, params QueryParams) ([]profile.Profile, bool) {
 	x := h.Index()
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		methodError(w, http.MethodPost)
 		return nil, false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
@@ -630,27 +611,19 @@ func (h *Handler) readProfiles(w http.ResponseWriter, r *http.Request) ([]profil
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			httpError(w, http.StatusRequestEntityTooLarge, ErrCodePayloadTooLarge,
 				fmt.Errorf("request body exceeds %d bytes (split the upload or raise -max-body)", tooBig.Limit))
 			return nil, false
 		}
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return nil, false
 	}
-	source := 0
-	if s := r.URL.Query().Get("source"); s != "" {
-		source, err = strconv.Atoi(s)
-		if err != nil || source < 0 || source > 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad source %q", s))
-			return nil, false
-		}
-		if source == 1 && !x.Clean() {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("source=1 needs a clean-clean index"))
-			return nil, false
-		}
+	if params.SourceSet && params.Source == 1 && !x.Clean() {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("source=1 needs a clean-clean index"))
+		return nil, false
 	}
 	for i := range ps {
-		ps[i].SourceID = source
+		ps[i].SourceID = params.Source
 	}
 	return ps, true
 }
@@ -660,10 +633,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
